@@ -1,0 +1,49 @@
+"""Fig. 1: vibration strength decays along throat -> mandible -> ear.
+
+Paper numbers: std(az) = 3805 (throat), 1050 (mandible), 761 (ear);
+ratios 3.62 (throat/mandible) and 1.38 (mandible/ear).  We reproduce
+the ordering and the rough factors with the IMU taped to each location.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import render_table
+from repro.imu import Recorder
+from repro.physio import sample_population
+from repro.physio.propagation import BodyLocation
+
+from conftest import once
+
+PAPER_STD = {"throat": 3805.0, "mandible": 1050.0, "ear": 761.0}
+
+
+def test_fig01_propagation_decay(benchmark):
+    population = sample_population(8, 2, seed=0)
+    recorder = Recorder(seed=0)
+
+    def run():
+        stds = {loc: [] for loc in BodyLocation}
+        for person in population:
+            for trial in range(3):
+                for loc in BodyLocation:
+                    sig = recorder.record_at_location(person, loc, trial_index=trial)
+                    # Strongest accelerometer axis (the paper plots az of
+                    # a well-aligned mount).
+                    stds[loc].append(float(sig[:, :3].std(axis=0).max()))
+        return {loc.value: float(np.median(vals)) for loc, vals in stds.items()}
+
+    measured = once(benchmark, run)
+
+    rows = [
+        [loc, PAPER_STD[loc], round(measured[loc], 1)]
+        for loc in ("throat", "mandible", "ear")
+    ]
+    print()
+    print(render_table(["location", "paper std(az)", "measured std"], rows,
+                       title="Fig. 1 - propagation path decay"))
+
+    # Shape: strict ordering along the path.
+    assert measured["throat"] > measured["mandible"] > measured["ear"]
+    # Rough factors: paper 3.62 and 1.38.
+    assert 1.5 < measured["throat"] / measured["mandible"] < 8.0
+    assert 1.1 < measured["mandible"] / measured["ear"] < 2.5

@@ -1,0 +1,68 @@
+"""Fig. 6: the MAD algorithm finds glitch outliers and the two-sided
+mean replacement restores the segment.
+
+The paper demonstrates this on one spiked segment; we quantify it over
+a population: detection recall on planted spikes, false-positive rate on
+clean samples, and the RMS error of the restored segment.
+"""
+
+import numpy as np
+
+from repro.dsp.outliers import mad_outlier_mask, replace_outliers
+from repro.eval.reporting import render_table
+from repro.imu import Recorder
+from repro.physio import sample_population
+
+from conftest import once
+
+
+def test_fig06_mad_detection_and_replacement(benchmark):
+    population = sample_population(8, 2, seed=0)
+    recorder = Recorder(seed=0)
+    rng = np.random.default_rng(7)
+
+    def run():
+        recalls, false_pos, rms_ratios = [], [], []
+        for person in population:
+            recording = recorder.record(person, trial_index=2)
+            clean = recording[60:120, 2].astype(float)  # voiced az segment
+            spiked = clean.copy()
+            planted = rng.choice(clean.size, size=4, replace=False)
+            # Glitches are 'extremely large or small values' (Section
+            # IV): plant them at 8-15x the segment's own spread, the
+            # regime the MAD rule exists for.
+            magnitude = clean.std() * rng.uniform(8.0, 15.0, 4)
+            spiked[planted] += rng.choice([-1, 1], 4) * magnitude
+            mask = mad_outlier_mask(spiked)
+            recalls.append(float(np.mean(mask[planted])))
+            other = np.ones(clean.size, dtype=bool)
+            other[planted] = False
+            false_pos.append(float(np.mean(mask[other])))
+            restored = replace_outliers(spiked, mask=mask)
+            err = np.sqrt(np.mean((restored - clean) ** 2))
+            base = np.sqrt(np.mean((spiked - clean) ** 2))
+            rms_ratios.append(float(err / base))
+        return (
+            float(np.mean(recalls)),
+            float(np.mean(false_pos)),
+            float(np.mean(rms_ratios)),
+        )
+
+    recall, false_positive, rms_ratio = once(benchmark, run)
+
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["spike recall", f"{recall:.3f}"],
+            ["clean-sample false-positive rate", f"{false_positive:.3f}"],
+            ["residual RMS / spiked RMS", f"{rms_ratio:.3f}"],
+        ],
+        title="Fig. 6 - MAD outlier processing",
+    ))
+
+    # Shape: the paper's claim is that 'all outliers are found' and the
+    # replacement is effective.
+    assert recall > 0.9
+    assert false_positive < 0.15
+    assert rms_ratio < 0.2

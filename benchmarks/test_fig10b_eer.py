@@ -1,0 +1,58 @@
+"""Fig. 10(b): the FAR/FRR curves and the headline EER.
+
+Paper: mean same-user distance 0.4884, different-user 0.7032; FAR = FRR
+at threshold 0.5485 giving EER 1.28 %.  We evaluate the production
+extractor on the 34 disjoint evaluation users with the paper's pairwise
+protocol (Eq. 9/10) and report the same quantities.
+"""
+
+import numpy as np
+
+from repro.eval.metrics import far_frr_curve
+from repro.eval.reporting import render_series, render_table
+
+from conftest import once
+
+PAPER = {"eer": 0.0128, "threshold": 0.5485, "genuine": 0.4884, "impostor": 0.7032}
+
+
+def test_fig10b_far_frr_and_eer(benchmark, baseline_eer):
+    eer, genuine, impostor = baseline_eer
+
+    def run():
+        thresholds, far, frr = far_frr_curve(genuine, impostor, num_points=21)
+        return thresholds, far, frr
+
+    thresholds, far, frr = once(benchmark, run)
+
+    print()
+    print(render_series(
+        "Fig. 10(b) - FAR over threshold",
+        [round(t, 3) for t in thresholds[::4]],
+        [round(v, 4) for v in far[::4]],
+        x_label="thr", y_label="FAR",
+    ))
+    print(render_series(
+        "Fig. 10(b) - FRR over threshold",
+        [round(t, 3) for t in thresholds[::4]],
+        [round(v, 4) for v in frr[::4]],
+        x_label="thr", y_label="FRR",
+    ))
+    print(render_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["EER", PAPER["eer"], round(eer.eer, 4)],
+            ["threshold at EER", PAPER["threshold"], round(eer.threshold, 4)],
+            ["mean genuine distance", PAPER["genuine"], round(float(genuine.mean()), 4)],
+            ["mean impostor distance", PAPER["impostor"], round(float(impostor.mean()), 4)],
+        ],
+        title="Fig. 10(b) - headline verification numbers",
+    ))
+
+    # Shape: FAR rises and FRR falls with the threshold, they cross once,
+    # and the EER lands in the paper's low-single-digit-percent band.
+    assert np.all(np.diff(far) >= 0.0)
+    assert np.all(np.diff(frr) <= 0.0)
+    assert genuine.mean() < impostor.mean()
+    assert eer.eer < 0.06, f"EER {eer.eer:.4f} out of band"
+    assert 0.2 < eer.threshold < 0.9

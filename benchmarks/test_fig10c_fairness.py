@@ -1,0 +1,49 @@
+"""Fig. 10(c): VSR is fair across genders and users.
+
+Paper: five randomly selected males and five females all show high,
+comparable VSRs.  We compute per-user VSR against enrolled templates at
+the operating threshold for five males and five females.
+"""
+
+import numpy as np
+
+from repro.eval.distributions import genuine_distances_to_templates
+from repro.eval.reporting import render_table
+from repro.types import Gender
+
+from conftest import once
+
+
+def test_fig10c_gender_fairness(benchmark, users, enrolled, operating_threshold):
+    templates, probes, probe_labels = enrolled
+    females = [i for i, p in enumerate(users.profiles) if p.gender is Gender.FEMALE]
+    males = [i for i, p in enumerate(users.profiles) if p.gender is Gender.MALE]
+    rng = np.random.default_rng(0)
+    chosen_f = rng.choice(females, size=5, replace=False)
+    chosen_m = rng.choice(males, size=5, replace=False)
+
+    def run():
+        distances = genuine_distances_to_templates(probes, templates, probe_labels)
+        vsr = {}
+        for person in np.concatenate([chosen_f, chosen_m]):
+            own = distances[probe_labels == person]
+            vsr[int(person)] = float(np.mean(own <= operating_threshold))
+        return vsr
+
+    vsr = once(benchmark, run)
+
+    print()
+    rows = []
+    for person, value in vsr.items():
+        gender = users.profiles[person].gender.value
+        rows.append([users.profiles[person].person_id, gender, f"{value:.3f}"])
+    print(render_table(["user", "gender", "VSR"], rows,
+                       title="Fig. 10(c) - per-user VSR, 5 F + 5 M"))
+
+    female_vsr = np.mean([vsr[int(p)] for p in chosen_f])
+    male_vsr = np.mean([vsr[int(p)] for p in chosen_m])
+    print(f"mean female VSR {female_vsr:.3f}, mean male VSR {male_vsr:.3f}")
+
+    # Shape: high VSR for everyone; gender gap small.
+    assert min(vsr.values()) > 0.8
+    assert abs(female_vsr - male_vsr) < 0.1

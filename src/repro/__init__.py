@@ -1,0 +1,84 @@
+"""MandiPass reproduction (ICDCS 2021).
+
+A full Python implementation of *MandiPass: Secure and Usable User
+Authentication via Earphone IMU*: the two-branch biometric extractor,
+the signal-preprocessing pipeline, Gaussian-matrix cancelable templates
+-- plus every substrate the paper depends on, built from scratch: a
+physiological mandible-vibration simulator, an IMU sensor model, a DSP
+toolkit, a numpy deep-learning framework and classical-ML baselines.
+
+Quickstart::
+
+    from repro import (
+        DatasetSpec, MandiPass, generate_dataset, train_extractor,
+    )
+
+    hired = generate_dataset(DatasetSpec(population_seed=100))
+    model, _ = train_extractor(hired.features, hired.labels)
+    system = MandiPass(model)
+    # record / enroll / verify -- see examples/quickstart.py
+"""
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    DecisionConfig,
+    ExtractorConfig,
+    MandiPassConfig,
+    PreprocessConfig,
+    SamplingConfig,
+    SecurityConfig,
+    TrainingConfig,
+)
+from repro.core import (
+    MandiPass,
+    TwoBranchExtractor,
+    cosine_distance,
+    extract_embeddings,
+    train_extractor,
+)
+from repro.datasets import DatasetCache, DatasetSpec, SynthDataset, generate_dataset
+from repro.dsp import Preprocessor
+from repro.errors import ReproError
+from repro.imu import IDEAL_IMU, MPU6050, MPU9250, Recorder
+from repro.physio import PersonProfile, RecordingCondition, sample_population
+from repro.security import CancelableTransform, SecureEnclave
+from repro.types import Activity, EarSide, Gender, Mouthful, Tone, VerificationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activity",
+    "CancelableTransform",
+    "DEFAULT_CONFIG",
+    "DatasetCache",
+    "DatasetSpec",
+    "DecisionConfig",
+    "EarSide",
+    "ExtractorConfig",
+    "Gender",
+    "IDEAL_IMU",
+    "MPU6050",
+    "MPU9250",
+    "MandiPass",
+    "MandiPassConfig",
+    "Mouthful",
+    "PersonProfile",
+    "PreprocessConfig",
+    "Preprocessor",
+    "Recorder",
+    "RecordingCondition",
+    "ReproError",
+    "SamplingConfig",
+    "SecureEnclave",
+    "SecurityConfig",
+    "SynthDataset",
+    "Tone",
+    "TrainingConfig",
+    "TwoBranchExtractor",
+    "VerificationResult",
+    "cosine_distance",
+    "extract_embeddings",
+    "generate_dataset",
+    "sample_population",
+    "train_extractor",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``        -- package, configuration and substrate summary.
+* ``train``       -- train the production extractor and cache it.
+* ``eer``         -- evaluate the cached production extractor on the
+                     34-user campaign and print the Fig. 10(b) numbers.
+* ``demo``        -- enroll-and-verify walk-through on a small model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.config import DEFAULT_CONFIG
+
+    cfg = DEFAULT_CONFIG
+    print(f"repro {repro.__version__} -- MandiPass (ICDCS 2021) reproduction")
+    print(f"  sampling      : {cfg.sampling.rate_hz} Hz, "
+          f"{cfg.sampling.duration_s}s per trial")
+    print(f"  segment       : n = {cfg.preprocess.segment_length}, "
+          f"high-pass {cfg.preprocess.highpass_cutoff_hz} Hz "
+          f"(order {cfg.preprocess.highpass_order})")
+    print(f"  front end     : {cfg.extractor.frontend} "
+          f"(width {cfg.extractor.input_width})")
+    print(f"  MandiblePrint : {cfg.extractor.embedding_dim}-d, "
+          f"channels {cfg.extractor.channels}")
+    print(f"  threshold     : {cfg.decision.threshold} "
+          f"(paper: 0.5485)")
+    from repro.datasets.cache import default_cache_dir
+
+    print(f"  cache dir     : {default_cache_dir()}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.datasets.cache import DatasetCache
+    from repro.eval.production import get_production_model
+
+    print("Training (or loading) the production extractor ...")
+    model = get_production_model(
+        cache=DatasetCache(),
+        num_people=args.people,
+        epochs=args.epochs,
+        force_retrain=args.force,
+    )
+    print(f"ready: {model.num_parameters():,} parameters "
+          f"({model.storage_nbytes() / 1e6:.2f} MB as float32)")
+    return 0
+
+
+def _cmd_eer(args: argparse.Namespace) -> int:
+    from repro.core.mandibleprint import extract_embeddings
+    from repro.core.similarity import center_embedding
+    from repro.datasets.cache import DatasetCache
+    from repro.datasets.standard import user_spec
+    from repro.eval.metrics import equal_error_rate
+    from repro.eval.pairs import genuine_impostor_distances
+    from repro.eval.production import get_production_model
+
+    cache = DatasetCache()
+    model = get_production_model(cache=cache, epochs=args.epochs)
+    users = cache.get(
+        user_spec(num_people=args.people, trials_per_person=args.trials)
+    )
+    emb = center_embedding(extract_embeddings(model, users.features))
+    genuine, impostor = genuine_impostor_distances(emb, users.labels)
+    eer = equal_error_rate(genuine, impostor)
+    print(f"users                 : {args.people} "
+          f"({args.trials} trials each)")
+    print(f"EER                   : {eer.eer:.4f}   (paper: 0.0128)")
+    print(f"threshold at EER      : {eer.threshold:.4f} (paper: 0.5485)")
+    print(f"mean genuine distance : {genuine.mean():.4f}")
+    print(f"mean impostor distance: {impostor.mean():.4f}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import (
+        MandiPass,
+        Recorder,
+        TrainingConfig,
+        sample_population,
+        train_extractor,
+    )
+    from repro.config import ExtractorConfig, MandiPassConfig, SecurityConfig
+    from repro.datasets.cache import DatasetCache
+    from repro.datasets.standard import generate_hired_corpus
+
+    print("Training a compact extractor (a couple of minutes) ...")
+    corpus = generate_hired_corpus(
+        num_people=24, nominal_trials=8, condition_trials=3, cache=DatasetCache()
+    )
+    extractor_config = ExtractorConfig(embedding_dim=128, channels=(8, 16, 32))
+    model, _ = train_extractor(
+        corpus.features,
+        corpus.labels,
+        extractor_config=extractor_config,
+        training_config=TrainingConfig(epochs=12, batch_size=64, weight_decay=1e-4),
+    )
+    config = MandiPassConfig(
+        extractor=extractor_config,
+        security=SecurityConfig(template_dim=128, projected_dim=128, matrix_seed=1),
+    )
+    device = MandiPass(model, config=config)
+    population = sample_population(6, 1, seed=0)
+    recorder = Recorder(seed=2)
+    device.enroll(
+        "you", [recorder.record(population[1], trial_index=i) for i in range(5)]
+    )
+    genuine = device.verify("you", recorder.record(population[1], trial_index=30))
+    impostor = device.verify("you", recorder.record(population[3], trial_index=30))
+    silent = device.verify("you", np.zeros((210, 6)))
+    print(f"genuine : accepted={genuine.accepted}  distance={genuine.distance:.3f}")
+    print(f"impostor: accepted={impostor.accepted}  distance={impostor.distance:.3f}")
+    print(f"silent  : accepted={silent.accepted}  (no vibration)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MandiPass (ICDCS 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="configuration summary").set_defaults(
+        func=_cmd_info
+    )
+
+    train = sub.add_parser("train", help="train/cache the production extractor")
+    train.add_argument("--people", type=int, default=80)
+    train.add_argument("--epochs", type=int, default=25)
+    train.add_argument("--force", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    eer = sub.add_parser("eer", help="Fig. 10(b) headline numbers")
+    eer.add_argument("--people", type=int, default=34)
+    eer.add_argument("--trials", type=int, default=30)
+    eer.add_argument("--epochs", type=int, default=25)
+    eer.set_defaults(func=_cmd_eer)
+
+    sub.add_parser("demo", help="enroll-and-verify walk-through").set_defaults(
+        func=_cmd_demo
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Frozen configuration objects for every pipeline stage.
+
+Each stage of MandiPass takes its tunables from a small frozen dataclass
+so that experiment sweeps (Section VII) can vary one knob at a time while
+keeping the rest reproducible.  Defaults follow the paper:
+
+* sampling rate 350 Hz (the paper's "0.2 (60 / 350) seconds" in VII-E),
+* segment length ``n = 60`` samples per axis (Section IV),
+* onset rule: window of 10 samples, start std > 250, sustain std >= 100,
+* high-pass 4th-order Butterworth, 20 Hz cutoff,
+* embedding dimension 512, decision threshold 0.5485 (Section VII-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigError(message)
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingConfig:
+    """IMU acquisition parameters.
+
+    Attributes:
+        rate_hz: IMU output data rate.  The paper's prototype samples at
+            about 350 Hz; common earphone IMUs stay below 500 Hz.
+        duration_s: length of each recorded trial, including the silent
+            lead-in before the user voices 'EMM'.
+        internal_rate_hz: rate of the continuous-time physiological
+            simulation before sensor sampling.  Must be an integer
+            multiple of ``rate_hz``.
+    """
+
+    rate_hz: int = 350
+    duration_s: float = 0.6
+    internal_rate_hz: int = 2800
+
+    def __post_init__(self) -> None:
+        _require(self.rate_hz > 0, "rate_hz must be positive")
+        _require(self.duration_s > 0, "duration_s must be positive")
+        _require(
+            self.internal_rate_hz % self.rate_hz == 0,
+            "internal_rate_hz must be a multiple of rate_hz",
+        )
+
+    @property
+    def oversample(self) -> int:
+        """Internal simulation steps per IMU sample."""
+        return self.internal_rate_hz // self.rate_hz
+
+    @property
+    def num_samples(self) -> int:
+        """Number of IMU samples in one trial."""
+        return int(round(self.duration_s * self.rate_hz))
+
+
+@dataclasses.dataclass(frozen=True)
+class PreprocessConfig:
+    """Section IV signal-preprocessing parameters."""
+
+    segment_length: int = 60
+    onset_window: int = 10
+    onset_std_start: float = 250.0
+    onset_std_sustain: float = 100.0
+    onset_sustain_windows: int = 3
+    mad_threshold: float = 3.5
+    min_segment_std: float = 50.0
+    highpass_cutoff_hz: float = 20.0
+    highpass_order: int = 4
+    sample_rate_hz: int = 350
+
+    def __post_init__(self) -> None:
+        _require(self.segment_length > 1, "segment_length must be > 1")
+        _require(self.onset_window > 1, "onset_window must be > 1")
+        _require(self.onset_std_start > 0, "onset_std_start must be > 0")
+        _require(self.onset_std_sustain > 0, "onset_std_sustain must be > 0")
+        _require(self.onset_sustain_windows >= 0, "onset_sustain_windows >= 0")
+        _require(self.mad_threshold > 0, "mad_threshold must be > 0")
+        _require(self.min_segment_std >= 0, "min_segment_std must be >= 0")
+        _require(self.highpass_order in (2, 4, 6, 8), "order must be even, 2..8")
+        _require(
+            0 < self.highpass_cutoff_hz < self.sample_rate_hz / 2,
+            "cutoff must be below Nyquist",
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtractorConfig:
+    """Two-branch CNN architecture parameters (Fig. 8).
+
+    ``frontend`` selects the direction-splitting front end (see
+    :mod:`repro.core.frontend`): ``"spectral"`` (default,
+    rectified-direction magnitude spectra, width ``n/2 + 1``),
+    ``"gradient"`` (the paper's temporal sign-split gradients, width
+    ``n/2``) or ``"gradient-sorted"``.
+    """
+
+    embedding_dim: int = 512
+    channels: tuple[int, int, int] = (8, 16, 32)
+    kernel_size: tuple[int, int] = (3, 3)
+    stride: tuple[int, int] = (1, 2)
+    num_axes: int = 6
+    frontend: str = "spectral"
+    input_width: int = 31
+
+    def __post_init__(self) -> None:
+        _require(self.embedding_dim > 0, "embedding_dim must be positive")
+        _require(len(self.channels) == 3, "the paper uses three conv layers")
+        _require(all(c > 0 for c in self.channels), "channels must be positive")
+        _require(self.input_width >= 4, "input_width too small for 3 convs")
+        _require(
+            self.frontend in ("spectral", "gradient", "gradient-sorted"),
+            "frontend must be 'spectral', 'gradient' or 'gradient-sorted'",
+        )
+
+    def expected_input_width(self, segment_length: int) -> int:
+        """Front-end output width for a given segment length."""
+        if self.frontend == "spectral":
+            return segment_length // 2 + 1
+        return segment_length // 2
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingConfig:
+    """VSP-side extractor training (Section V-C)."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    seed: int = 0
+    shuffle: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.epochs > 0, "epochs must be positive")
+        _require(self.batch_size > 0, "batch_size must be positive")
+        _require(self.learning_rate > 0, "learning_rate must be positive")
+        _require(self.weight_decay >= 0, "weight_decay must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class SecurityConfig:
+    """Cancelable-template parameters (Section VI)."""
+
+    template_dim: int = 512
+    projected_dim: int = 512
+    matrix_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.template_dim > 0, "template_dim must be positive")
+        _require(self.projected_dim > 0, "projected_dim must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionConfig:
+    """Similarity-decision parameters (Section VII-A).
+
+    The paper's operating threshold is 0.5485 on its own embedding
+    space; ours is calibrated the same way (the FAR/FRR crossing of the
+    Fig. 10(b) bench for the shipped production extractor) and lands at
+    0.48 on the synthetic substrate.
+    """
+
+    threshold: float = 0.48
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.threshold < 2.0, "cosine distance lies in (0, 2)")
+
+
+@dataclasses.dataclass(frozen=True)
+class MandiPassConfig:
+    """Top-level configuration bundling every stage."""
+
+    sampling: SamplingConfig = dataclasses.field(default_factory=SamplingConfig)
+    preprocess: PreprocessConfig = dataclasses.field(default_factory=PreprocessConfig)
+    extractor: ExtractorConfig = dataclasses.field(default_factory=ExtractorConfig)
+    training: TrainingConfig = dataclasses.field(default_factory=TrainingConfig)
+    security: SecurityConfig = dataclasses.field(default_factory=SecurityConfig)
+    decision: DecisionConfig = dataclasses.field(default_factory=DecisionConfig)
+
+    def __post_init__(self) -> None:
+        _require(
+            self.preprocess.sample_rate_hz == self.sampling.rate_hz,
+            "preprocess.sample_rate_hz must match sampling.rate_hz",
+        )
+        _require(
+            self.extractor.input_width
+            == self.extractor.expected_input_width(self.preprocess.segment_length),
+            "extractor.input_width must match the front end's output width",
+        )
+        _require(
+            self.security.template_dim == self.extractor.embedding_dim,
+            "security.template_dim must match extractor.embedding_dim",
+        )
+
+    def replace(self, **kwargs: object) -> "MandiPassConfig":
+        """Return a copy with the given top-level sections replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = MandiPassConfig()

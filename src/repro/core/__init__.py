@@ -1,0 +1,47 @@
+"""The paper's primary contribution: MandiblePrint extraction and the
+MandiPass authentication system.
+
+* :mod:`repro.core.extractor` -- the two-branch CNN of Fig. 8,
+* :mod:`repro.core.training` -- VSP-side training (Section V-C),
+* :mod:`repro.core.mandibleprint` -- embedding extraction,
+* :mod:`repro.core.similarity` -- cosine distance and decisions,
+* :mod:`repro.core.enrollment` / :mod:`repro.core.verification` -- the
+  two phases of Fig. 3,
+* :mod:`repro.core.system` -- the ``MandiPass`` facade.
+"""
+
+from repro.core.extractor import TwoBranchExtractor
+from repro.core.frontend import (
+    FrontEnd,
+    GradientFrontEnd,
+    RectifiedSpectralFrontEnd,
+    make_frontend,
+)
+from repro.core.fusion import (
+    fuse_majority,
+    fuse_mean_distance,
+    fuse_min_distance,
+    fused_error_rates,
+)
+from repro.core.mandibleprint import extract_embeddings
+from repro.core.similarity import cosine_distance, pairwise_cosine_distance
+from repro.core.system import MandiPass
+from repro.core.training import TrainingHistory, train_extractor
+
+__all__ = [
+    "FrontEnd",
+    "GradientFrontEnd",
+    "MandiPass",
+    "RectifiedSpectralFrontEnd",
+    "fuse_majority",
+    "fuse_mean_distance",
+    "fuse_min_distance",
+    "fused_error_rates",
+    "make_frontend",
+    "TrainingHistory",
+    "TwoBranchExtractor",
+    "cosine_distance",
+    "extract_embeddings",
+    "pairwise_cosine_distance",
+    "train_extractor",
+]

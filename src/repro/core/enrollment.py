@@ -1,0 +1,90 @@
+"""Registration phase (Fig. 3, left).
+
+The user voices 'EMM' a handful of times; each recording runs through
+preprocessing and the extractor; the mean embedding becomes the
+MandiblePrint template, which is projected by the user's Gaussian
+matrix and sealed in the enclave.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.extractor import TwoBranchExtractor
+from repro.core.frontend import FrontEnd
+from repro.core.mandibleprint import extract_embeddings
+from repro.core.similarity import center_embedding
+from repro.dsp.pipeline import Preprocessor
+from repro.errors import EnrollmentError, SignalError
+from repro.security.cancelable import CancelableTransform
+from repro.types import RawRecording
+
+
+@dataclasses.dataclass(frozen=True)
+class EnrollmentResult:
+    """What registration produced.
+
+    Attributes:
+        user_id: the enrolled identity.
+        cancelable_template: the projected template that was sealed.
+        transform: the Gaussian transform in force for this user.
+        used_recordings: how many recordings survived preprocessing.
+    """
+
+    user_id: str
+    cancelable_template: np.ndarray
+    transform: CancelableTransform
+    used_recordings: int
+
+
+def build_template(
+    model: TwoBranchExtractor,
+    preprocessor: Preprocessor,
+    frontend: FrontEnd,
+    recordings: list[RawRecording],
+) -> tuple[np.ndarray, int]:
+    """Extract and average embeddings from enrollment recordings.
+
+    Recordings without a detectable vibration are skipped; at least one
+    must survive.
+
+    Returns:
+        ``(template, used_count)`` where template is ``(embedding_dim,)``.
+
+    Raises:
+        repro.errors.EnrollmentError: if no recording was usable.
+    """
+    features = []
+    for recording in recordings:
+        try:
+            signal_array = preprocessor.process(recording)
+        except SignalError:
+            continue
+        features.append(frontend.transform(signal_array))
+    if not features:
+        raise EnrollmentError("no enrollment recording contained a vibration")
+    embeddings = center_embedding(extract_embeddings(model, np.stack(features)))
+    return embeddings.mean(axis=0), len(features)
+
+
+def enroll_user(
+    user_id: str,
+    model: TwoBranchExtractor,
+    preprocessor: Preprocessor,
+    frontend: FrontEnd,
+    recordings: list[RawRecording],
+    transform: CancelableTransform,
+) -> EnrollmentResult:
+    """Full registration: template -> cancelable projection."""
+    if not recordings:
+        raise EnrollmentError("enrollment requires at least one recording")
+    template, used = build_template(model, preprocessor, frontend, recordings)
+    cancelable = transform.apply(template)
+    return EnrollmentResult(
+        user_id=user_id,
+        cancelable_template=cancelable,
+        transform=transform,
+        used_recordings=used,
+    )

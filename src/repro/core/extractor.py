@@ -1,0 +1,135 @@
+"""The two-branch CNN biometric extractor (Fig. 8).
+
+Two convolutional branches process the positive- and negative-direction
+gradient planes separately (the paper's Eq. 6 argues the two directions
+carry *different* biometric parameters, ``c1`` vs ``c2``).  Each branch
+stacks three Conv(3x3, stride 1x2) + BatchNorm + ReLU blocks; the
+flattened branch outputs are concatenated, projected by a fully
+connected layer, and squashed by a sigmoid into the MandiblePrint
+vector (512-d by default).  A final linear head maps the embedding to
+person logits for the VSP-side training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ExtractorConfig
+from repro.errors import ConfigError, ModelError, ShapeError
+from repro.nn.functional import conv_output_size
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+
+
+def _branch(
+    config: ExtractorConfig, rng: np.random.Generator
+) -> tuple[Sequential, int]:
+    """One convolutional branch and its flattened output size."""
+    c1, c2, c3 = config.channels
+    kernel = config.kernel_size
+    stride = config.stride
+    pad = (kernel[0] // 2, kernel[1] // 2)
+    layers = Sequential(
+        Conv2d(1, c1, kernel, stride, pad, rng=rng),
+        BatchNorm2d(c1),
+        ReLU(),
+        Conv2d(c1, c2, kernel, stride, pad, rng=rng),
+        BatchNorm2d(c2),
+        ReLU(),
+        Conv2d(c2, c3, kernel, stride, pad, rng=rng),
+        BatchNorm2d(c3),
+        ReLU(),
+        Flatten(),
+    )
+    height = config.num_axes
+    width = config.input_width
+    for _ in range(3):
+        height = conv_output_size(height, kernel[0], stride[0], pad[0])
+        width = conv_output_size(width, kernel[1], stride[1], pad[1])
+    return layers, c3 * height * width
+
+
+class TwoBranchExtractor(Module):
+    """Fig. 8: positive/negative branches -> concat -> FC -> sigmoid.
+
+    Args:
+        config: architecture parameters.
+        num_classes: size of the training classification head (number of
+            hired people at the VSP); irrelevant at deployment time.
+        seed: weight initialisation randomness.
+    """
+
+    def __init__(
+        self,
+        config: ExtractorConfig | None = None,
+        num_classes: int = 34,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_classes <= 1:
+            raise ConfigError("num_classes must be at least 2")
+        self.config = config or ExtractorConfig()
+        self.num_classes = num_classes
+        rng = np.random.default_rng(seed)
+        self.branch_pos, flat_pos = _branch(self.config, rng)
+        self.branch_neg, flat_neg = _branch(self.config, rng)
+        self.embedding_layer = Linear(
+            flat_pos + flat_neg, self.config.embedding_dim, rng=rng
+        )
+        self.embedding_activation = Sigmoid()
+        self.head = Linear(self.config.embedding_dim, num_classes, rng=rng)
+        self._flat_pos = flat_pos
+        self._last_embedding: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        expected = (2, self.config.num_axes, self.config.input_width)
+        if x.ndim != 4 or x.shape[1:] != expected:
+            raise ShapeError(
+                f"extractor expects (B, {expected[0]}, {expected[1]}, "
+                f"{expected[2]}), got {x.shape}"
+            )
+        return x
+
+    def embed(self, x: np.ndarray) -> np.ndarray:
+        """MandiblePrint vectors ``(B, embedding_dim)`` (no logits)."""
+        x = self._check_input(x)
+        pos = self.branch_pos(x[:, 0:1, :, :])
+        neg = self.branch_neg(x[:, 1:2, :, :])
+        features = np.concatenate([pos, neg], axis=1)
+        return self.embedding_activation(self.embedding_layer(features))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Person logits ``(B, num_classes)`` for training."""
+        embedding = self.embed(x)
+        self._last_embedding = embedding
+        return self.head(embedding)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._last_embedding is None:
+            raise ModelError("backward called before forward")
+        grad_emb = self.head.backward(grad)
+        grad_emb = self.embedding_activation.backward(grad_emb)
+        grad_features = self.embedding_layer.backward(grad_emb)
+        grad_pos = grad_features[:, : self._flat_pos]
+        grad_neg = grad_features[:, self._flat_pos :]
+        gp = self.branch_pos.backward(grad_pos)
+        gn = self.branch_neg.backward(grad_neg)
+        self._last_embedding = None
+        return np.concatenate([gp, gn], axis=1)
+
+    # ------------------------------------------------------------------
+
+    def storage_nbytes(self) -> int:
+        """On-device model size in bytes (float32), Section VII-E."""
+        return self.num_parameters() * 4

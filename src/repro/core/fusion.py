@@ -1,0 +1,113 @@
+"""Multi-probe decision fusion.
+
+One 'EMM' costs 0.2 s of signal, so a deployment can cheaply ask for
+two or three before unlocking anything valuable.  This module provides
+the standard fusion rules over a sequence of verification results, plus
+an analytical helper showing what fusion does to FAR/FRR.
+
+All rules consume :class:`~repro.types.VerificationResult` objects from
+the same user/template and produce a fused result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.types import VerificationResult
+
+
+def _check_results(results: list[VerificationResult]) -> None:
+    if not results:
+        raise ShapeError("need at least one verification result")
+    users = {r.user_id for r in results}
+    if len(users) != 1:
+        raise ShapeError(f"results target different users: {sorted(users)}")
+    thresholds = {r.threshold for r in results}
+    if len(thresholds) != 1:
+        raise ShapeError("results were decided at different thresholds")
+
+
+def fuse_mean_distance(results: list[VerificationResult]) -> VerificationResult:
+    """Score-level fusion: accept iff the *mean* distance clears the
+    threshold.  The strongest rule when probe noise is independent."""
+    _check_results(results)
+    threshold = results[0].threshold
+    mean = float(np.mean([r.distance for r in results]))
+    return VerificationResult(
+        accepted=mean <= threshold,
+        distance=mean,
+        threshold=threshold,
+        user_id=results[0].user_id,
+    )
+
+
+def fuse_min_distance(results: list[VerificationResult]) -> VerificationResult:
+    """OR-like fusion: the best probe decides.  Lowers FRR, raises FAR."""
+    _check_results(results)
+    best = min(results, key=lambda r: r.distance)
+    return VerificationResult(
+        accepted=best.distance <= best.threshold,
+        distance=best.distance,
+        threshold=best.threshold,
+        user_id=best.user_id,
+    )
+
+
+def fuse_majority(results: list[VerificationResult]) -> VerificationResult:
+    """Decision-level fusion: accept iff more than half the probes were
+    accepted.  The fused ``distance`` reports the median."""
+    _check_results(results)
+    votes = sum(r.accepted for r in results)
+    median = float(np.median([r.distance for r in results]))
+    return VerificationResult(
+        accepted=votes * 2 > len(results),
+        distance=median,
+        threshold=results[0].threshold,
+        user_id=results[0].user_id,
+    )
+
+
+def fused_error_rates(
+    frr: float, far: float, num_probes: int, rule: str = "majority"
+) -> tuple[float, float]:
+    """Analytical (independence-assuming) error rates after fusion.
+
+    Args:
+        frr / far: single-probe error rates.
+        num_probes: how many probes are fused.
+        rule: ``"majority"``, ``"all"`` (AND: every probe must accept) or
+            ``"any"`` (OR: one acceptance suffices).
+
+    Returns:
+        ``(fused_frr, fused_far)``.
+    """
+    if not 0.0 <= frr <= 1.0 or not 0.0 <= far <= 1.0:
+        raise ConfigError("rates must lie in [0, 1]")
+    if num_probes <= 0:
+        raise ConfigError("num_probes must be positive")
+    from math import comb
+
+    if rule == "all":
+        # Reject if any probe rejects.
+        fused_frr = 1.0 - (1.0 - frr) ** num_probes
+        fused_far = far**num_probes
+    elif rule == "any":
+        fused_frr = frr**num_probes
+        fused_far = 1.0 - (1.0 - far) ** num_probes
+    elif rule == "majority":
+        need = num_probes // 2 + 1
+
+        def at_least(p: float, k: int) -> float:
+            return sum(
+                comb(num_probes, i) * p**i * (1.0 - p) ** (num_probes - i)
+                for i in range(k, num_probes + 1)
+            )
+
+        # FRR: genuine accepted with prob (1-frr) per probe; reject when
+        # acceptances fall below the majority.
+        fused_frr = 1.0 - at_least(1.0 - frr, need)
+        fused_far = at_least(far, need)
+    else:
+        raise ConfigError("rule must be 'majority', 'all' or 'any'")
+    return float(fused_frr), float(fused_far)

@@ -1,0 +1,38 @@
+"""MandiblePrint extraction: gradient arrays to embedding vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extractor import TwoBranchExtractor
+from repro.errors import ShapeError
+
+
+def extract_embeddings(
+    model: TwoBranchExtractor,
+    feature_arrays: np.ndarray,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """MandiblePrint vectors for a batch of gradient arrays.
+
+    Args:
+        model: a trained extractor (switched to eval mode here).
+        feature_arrays: ``(B, 2, 6, W)``.
+        batch_size: forward-pass chunking.
+
+    Returns:
+        ``(B, embedding_dim)`` float64 embeddings in ``(0, 1)`` (sigmoid
+        outputs).
+    """
+    feature_arrays = np.asarray(feature_arrays, dtype=np.float64)
+    if feature_arrays.ndim != 4:
+        raise ShapeError("feature_arrays must be (B, 2, 6, W)")
+    if batch_size <= 0:
+        raise ShapeError("batch_size must be positive")
+    model.eval()
+    chunks = []
+    for start in range(0, feature_arrays.shape[0], batch_size):
+        chunks.append(model.embed(feature_arrays[start : start + batch_size]))
+    if not chunks:
+        return np.empty((0, model.config.embedding_dim))
+    return np.concatenate(chunks, axis=0)

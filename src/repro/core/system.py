@@ -1,0 +1,214 @@
+"""The ``MandiPass`` facade: enroll / verify / revoke / renew.
+
+Composes the trained extractor, the preprocessing pipeline, the
+cancelable transform and the secure enclave into the deployment-shaped
+API of Fig. 3.  One instance models one earphone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MandiPassConfig, DEFAULT_CONFIG
+from repro.core.enrollment import enroll_user
+from repro.core.extractor import TwoBranchExtractor
+from repro.core.frontend import make_frontend
+from repro.core.verification import verify_presented_vector, verify_recording
+from repro.dsp.pipeline import Preprocessor
+from repro.errors import EnrollmentError, VerificationError
+from repro.security.cancelable import CancelableTransform
+from repro.security.enclave import SecureEnclave
+from repro.types import RawRecording, VerificationResult
+
+
+class MandiPass:
+    """One earphone running MandiPass.
+
+    Args:
+        model: a trained :class:`TwoBranchExtractor` (shipped by the VSP).
+        config: full system configuration.
+        enclave: template store; a fresh one per device by default.
+    """
+
+    def __init__(
+        self,
+        model: TwoBranchExtractor,
+        config: MandiPassConfig = DEFAULT_CONFIG,
+        enclave: SecureEnclave | None = None,
+    ) -> None:
+        if model.config.embedding_dim != config.security.template_dim:
+            raise EnrollmentError(
+                "extractor embedding_dim does not match security.template_dim"
+            )
+        self.model = model
+        self.config = config
+        self.preprocessor = Preprocessor(config.preprocess)
+        self.frontend = make_frontend(config.extractor.frontend)
+        self.enclave = enclave or SecureEnclave()
+        self._transforms: dict[str, CancelableTransform] = {}
+
+    # ------------------------------------------------------------------
+
+    def enroll(
+        self,
+        user_id: str,
+        recordings: list[RawRecording],
+        transform_seed: int | None = None,
+    ) -> int:
+        """Register a user from enrollment recordings.
+
+        Returns:
+            The number of recordings that survived preprocessing.
+        """
+        seed = (
+            transform_seed
+            if transform_seed is not None
+            else self.config.security.matrix_seed
+        )
+        transform = CancelableTransform(
+            input_dim=self.config.security.template_dim,
+            output_dim=self.config.security.projected_dim,
+            seed=seed,
+        )
+        result = enroll_user(
+            user_id, self.model, self.preprocessor, self.frontend, recordings, transform
+        )
+        self._transforms[user_id] = transform
+        self.enclave.seal(user_id, result.cancelable_template, transform.seed)
+        return result.used_recordings
+
+    def is_enrolled(self, user_id: str) -> bool:
+        return self.enclave.contains(user_id)
+
+    # ------------------------------------------------------------------
+
+    def verify(self, user_id: str, recording: RawRecording) -> VerificationResult:
+        """Decide one verification request against a sealed template."""
+        transform = self._transforms.get(user_id)
+        if transform is None:
+            raise VerificationError(f"user {user_id!r} is not enrolled")
+        record = self.enclave.unseal(user_id)
+        return verify_recording(
+            user_id=user_id,
+            model=self.model,
+            preprocessor=self.preprocessor,
+            frontend=self.frontend,
+            recording=recording,
+            template=np.asarray(record.template),
+            transform=transform,
+            threshold=self.config.decision.threshold,
+        )
+
+    def verify_presented(
+        self, user_id: str, presented: np.ndarray
+    ) -> VerificationResult:
+        """Decide a raw presented vector (the replay-attack surface)."""
+        record = self.enclave.unseal(user_id)
+        return verify_presented_vector(
+            user_id=user_id,
+            presented=presented,
+            template=np.asarray(record.template),
+            threshold=self.config.decision.threshold,
+        )
+
+    # ------------------------------------------------------------------
+
+    def identify(self, recording: RawRecording) -> VerificationResult | None:
+        """1:N identification: find the closest enrolled user.
+
+        Extends the paper's 1:1 verification to the identification mode
+        its classification experiments imply: extract one MandiblePrint
+        and compare against every sealed template (each under its own
+        user's Gaussian matrix).  Returns the best match as a
+        :class:`VerificationResult` (``accepted`` reflects the decision
+        threshold), or ``None`` when no user is enrolled or the
+        recording has no usable vibration.
+        """
+        from repro.core.similarity import accept, cosine_distance
+        from repro.core.verification import probe_embedding
+        from repro.errors import SignalError
+
+        if not self._transforms:
+            return None
+        try:
+            embedding = probe_embedding(
+                self.model, self.preprocessor, self.frontend, recording
+            )
+        except SignalError:
+            return None
+        best: VerificationResult | None = None
+        for user_id, transform in self._transforms.items():
+            record = self.enclave.unseal(user_id)
+            probe = transform.apply(embedding)
+            distance = cosine_distance(probe, np.asarray(record.template))
+            result = VerificationResult(
+                accepted=accept(distance, self.config.decision.threshold),
+                distance=distance,
+                threshold=self.config.decision.threshold,
+                user_id=user_id,
+            )
+            if best is None or result.distance < best.distance:
+                best = result
+        return best
+
+    def adapt_template(
+        self, user_id: str, recording: RawRecording, rate: float = 0.1
+    ) -> bool:
+        """Template adaptation: blend an accepted probe into the template.
+
+        Biometric templates age (the paper's Section VII-F horizon is
+        two weeks; months-scale drift needs refresh).  After a probe is
+        *accepted*, its cancelable vector is folded into the sealed
+        template with exponential weight ``rate``.  Rejected probes
+        never adapt (otherwise an impostor could walk the template).
+
+        Returns:
+            True if the template was updated, False if the probe was
+            rejected (or unusable) and nothing changed.
+        """
+        from repro.errors import ConfigError
+
+        if not 0.0 < rate < 1.0:
+            raise ConfigError("rate must lie in (0, 1)")
+        result = self.verify(user_id, recording)
+        if not result.accepted:
+            return False
+        from repro.core.verification import probe_embedding
+
+        transform = self._transforms[user_id]
+        embedding = probe_embedding(
+            self.model, self.preprocessor, self.frontend, recording
+        )
+        probe = transform.apply(embedding)
+        record = self.enclave.unseal(user_id)
+        updated = (1.0 - rate) * np.asarray(record.template) + rate * probe
+        self.enclave.seal(user_id, updated, transform.seed)
+        return True
+
+    def stored_template(self, user_id: str) -> np.ndarray:
+        """The sealed cancelable template (what a thief could exfiltrate)."""
+        return np.asarray(self.enclave.unseal(user_id).template)
+
+    def revoke(self, user_id: str) -> None:
+        """Invalidate a user's template after suspected theft."""
+        self.enclave.revoke(user_id)
+        self._transforms.pop(user_id, None)
+
+    def renew(
+        self, user_id: str, recordings: list[RawRecording]
+    ) -> int:
+        """Revoke and re-enroll with a freshly drawn Gaussian matrix."""
+        old = self._transforms.get(user_id)
+        if self.enclave.contains(user_id):
+            self.enclave.revoke(user_id)
+        new_seed = (old.renew().seed if old is not None else None)
+        return self.enroll(user_id, recordings, transform_seed=new_seed)
+
+    # ------------------------------------------------------------------
+
+    def storage_nbytes(self, user_id: str | None = None) -> int:
+        """Total on-device storage: model plus (optionally) one template."""
+        total = self.model.storage_nbytes()
+        if user_id is not None:
+            total += self.enclave.template_nbytes(user_id)
+        return total

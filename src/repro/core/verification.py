@@ -1,0 +1,89 @@
+"""Verification phase (Fig. 3, right).
+
+A verification request is one recording: preprocess, extract the
+MandiblePrint, project with the user's Gaussian matrix, compare against
+the sealed template by cosine distance, accept iff within threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extractor import TwoBranchExtractor
+from repro.core.frontend import FrontEnd
+from repro.core.mandibleprint import extract_embeddings
+from repro.core.similarity import accept, center_embedding, cosine_distance
+from repro.dsp.pipeline import Preprocessor
+from repro.errors import SignalError
+from repro.security.cancelable import CancelableTransform
+from repro.types import RawRecording, VerificationResult
+
+
+def probe_embedding(
+    model: TwoBranchExtractor,
+    preprocessor: Preprocessor,
+    frontend: FrontEnd,
+    recording: RawRecording,
+) -> np.ndarray:
+    """Extract one probe MandiblePrint.
+
+    Raises:
+        repro.errors.SignalError: (subclass) if the recording contains
+            no usable vibration -- the request must be rejected, which
+            :func:`verify_recording` translates into a refusal.
+    """
+    signal_array = preprocessor.process(recording)
+    features = frontend.transform(signal_array)
+    return center_embedding(extract_embeddings(model, features[None, ...])[0])
+
+
+def verify_recording(
+    user_id: str,
+    model: TwoBranchExtractor,
+    preprocessor: Preprocessor,
+    frontend: FrontEnd,
+    recording: RawRecording,
+    template: np.ndarray,
+    transform: CancelableTransform,
+    threshold: float,
+) -> VerificationResult:
+    """Decide one verification request.
+
+    A recording without a detectable vibration (e.g. a zero-effort
+    attack) is rejected with the maximum distance rather than raising:
+    from the system's point of view it is simply a failed attempt.
+    """
+    try:
+        embedding = probe_embedding(model, preprocessor, frontend, recording)
+    except SignalError:
+        return VerificationResult(
+            accepted=False, distance=2.0, threshold=threshold, user_id=user_id
+        )
+    probe = transform.apply(embedding)
+    distance = cosine_distance(probe, template)
+    return VerificationResult(
+        accepted=accept(distance, threshold),
+        distance=distance,
+        threshold=threshold,
+        user_id=user_id,
+    )
+
+
+def verify_presented_vector(
+    user_id: str,
+    presented: np.ndarray,
+    template: np.ndarray,
+    threshold: float,
+) -> VerificationResult:
+    """Decide a request that presents a raw vector (replay attacks).
+
+    The replay attacker bypasses the sensor and exhibits a stolen
+    cancelable vector directly; the comparison is the same cosine rule.
+    """
+    distance = cosine_distance(np.asarray(presented, dtype=np.float64), template)
+    return VerificationResult(
+        accepted=accept(distance, threshold),
+        distance=distance,
+        threshold=threshold,
+        user_id=user_id,
+    )

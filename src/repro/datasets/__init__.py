@@ -1,0 +1,19 @@
+"""Synthetic dataset generation, splits, and caching.
+
+:mod:`repro.datasets.synth` turns a population and recording conditions
+into preprocessed training/evaluation tensors; :mod:`repro.datasets.splits`
+provides per-person splits; :mod:`repro.datasets.cache` memoises
+generated datasets on disk so benchmarks re-run quickly.
+"""
+
+from repro.datasets.cache import DatasetCache
+from repro.datasets.splits import per_person_split
+from repro.datasets.synth import DatasetSpec, SynthDataset, generate_dataset
+
+__all__ = [
+    "DatasetCache",
+    "DatasetSpec",
+    "SynthDataset",
+    "generate_dataset",
+    "per_person_split",
+]

@@ -1,0 +1,101 @@
+"""On-disk caching of generated datasets.
+
+Generating a 34-person campaign takes seconds; the benchmark suite runs
+dozens of campaigns, so :class:`DatasetCache` memoises the generated
+arrays in ``.npz`` files keyed by the spec.  Profiles are *not* stored:
+they are re-sampled deterministically from the population seed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+
+from repro.config import PreprocessConfig
+from repro.datasets.synth import DatasetSpec, SynthDataset, generate_dataset
+from repro.physio.population import sample_population
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.cwd() / ".repro_cache"
+
+
+class DatasetCache:
+    """Spec-keyed dataset memoisation."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = pathlib.Path(directory) if directory else default_cache_dir()
+
+    def _path(self, spec: DatasetSpec) -> pathlib.Path:
+        return self.directory / f"{spec.cache_key()}.npz"
+
+    def get(
+        self,
+        spec: DatasetSpec,
+        preprocess: PreprocessConfig | None = None,
+    ) -> SynthDataset:
+        """Load from cache or generate-and-store.
+
+        Only the default preprocessing configuration is cached; custom
+        configurations always regenerate (their arrays differ).
+        """
+        cacheable = preprocess is None
+        path = self._path(spec)
+        if cacheable and path.exists():
+            return self._load(spec, path)
+        dataset = generate_dataset(spec, preprocess)
+        if cacheable:
+            self._store(dataset, path)
+        return dataset
+
+    def _store(self, dataset: SynthDataset, path: pathlib.Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        dropped_ids = list(dataset.dropped.keys())
+        dropped_counts = [dataset.dropped[k] for k in dropped_ids]
+        np.savez_compressed(
+            path,
+            signal_arrays=dataset.signal_arrays,
+            features=dataset.features,
+            labels=dataset.labels,
+            trial_ids=dataset.trial_ids,
+            dropped_ids=np.array(dropped_ids, dtype="U8"),
+            dropped_counts=np.array(dropped_counts, dtype=np.int64),
+        )
+
+    def _load(self, spec: DatasetSpec, path: pathlib.Path) -> SynthDataset:
+        with np.load(path) as archive:
+            profiles = sample_population(
+                spec.num_people, spec.num_female, seed=spec.population_seed
+            )
+            dropped = {
+                str(pid): int(count)
+                for pid, count in zip(
+                    archive["dropped_ids"], archive["dropped_counts"]
+                )
+            }
+            return SynthDataset(
+                signal_arrays=archive["signal_arrays"].copy(),
+                features=archive["features"].copy(),
+                labels=archive["labels"].copy(),
+                trial_ids=archive["trial_ids"].copy(),
+                profiles=profiles,
+                dropped=dropped,
+            )
+
+    def clear(self) -> int:
+        """Delete all cached campaigns; returns how many were removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed

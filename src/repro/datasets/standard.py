@@ -1,0 +1,171 @@
+"""Standard campaign specifications shared by benchmarks and examples.
+
+Two disjoint populations:
+
+* the **hired people** (population seed 100) -- the VSP's training
+  corpus (Section V-C); offset-diverse segments, more identities than
+  the evaluation group (the paper: "hire a large number of people");
+* the **users** (population seed 0) -- the 34 evaluation volunteers
+  (28 male / 6 female), never seen in training.
+
+Benchmarks that sweep a knob derive their specs from these so that every
+experiment shares the same base acquisition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.datasets.synth import DatasetSpec, SynthDataset
+from repro.errors import ConfigError
+from repro.imu.device import IMUDevice, MPU9250
+from repro.physio.conditions import NOMINAL, RecordingCondition
+from repro.types import Activity, EarSide, Tone
+
+if TYPE_CHECKING:
+    from repro.datasets.cache import DatasetCache
+
+HIRED_POPULATION_SEED = 100
+USER_POPULATION_SEED = 0
+
+# Offsets used for the hired-people corpus: the paper chops continuous
+# voicing into many arrays, which is naturally offset-diverse.
+TRAINING_OFFSETS: tuple[int, ...] = (-4, 0, 4)
+
+
+def hired_spec(
+    num_people: int = 80,
+    trials_per_person: int = 30,
+    device: IMUDevice = MPU9250,
+) -> DatasetSpec:
+    """The VSP's training campaign."""
+    return DatasetSpec(
+        num_people=num_people,
+        num_female=max(1, round(num_people * 6 / 34)),
+        trials_per_person=trials_per_person,
+        population_seed=HIRED_POPULATION_SEED,
+        recorder_seed=1,
+        device=device,
+        segment_offsets=TRAINING_OFFSETS,
+    )
+
+
+def user_spec(
+    num_people: int = 34,
+    trials_per_person: int = 30,
+    condition: RecordingCondition = NOMINAL,
+    device: IMUDevice = MPU9250,
+    recorder_seed: int = 2,
+    max_axes: int = 6,
+) -> DatasetSpec:
+    """The evaluation-user campaign (the paper's 34 volunteers)."""
+    return DatasetSpec(
+        num_people=num_people,
+        num_female=max(1, round(num_people * 6 / 34)),
+        trials_per_person=trials_per_person,
+        population_seed=USER_POPULATION_SEED,
+        recorder_seed=recorder_seed,
+        condition=condition,
+        device=device,
+        max_axes=max_axes,
+    )
+
+
+def condition_spec(
+    condition: RecordingCondition,
+    num_people: int = 34,
+    trials_per_person: int = 12,
+) -> DatasetSpec:
+    """A robustness-condition campaign over the same users."""
+    return dataclasses.replace(
+        user_spec(num_people=num_people, trials_per_person=trials_per_person),
+        condition=condition,
+        recorder_seed=3,
+    )
+
+
+# Conditions the VSP includes in its training corpus so the extractor
+# learns nuisance invariances (Section V-C: the VSP "can hire a large
+# number of people"; a competent VSP also varies how they wear the bud
+# and how they voice).  These cover the robustness axes of Figs. 12-14.
+TRAINING_CONDITIONS: tuple[RecordingCondition, ...] = (
+    RecordingCondition(orientation_deg=90.0),
+    RecordingCondition(orientation_deg=180.0),
+    RecordingCondition(orientation_deg=270.0),
+    # Tones and activities appear twice (each entry records a fresh
+    # session): they are the hardest invariances, so the corpus weights
+    # them more heavily.
+    RecordingCondition(tone=Tone.HIGH),
+    RecordingCondition(tone=Tone.LOW),
+    RecordingCondition(tone=Tone.HIGH, orientation_deg=90.0),
+    RecordingCondition(tone=Tone.LOW, orientation_deg=180.0),
+    RecordingCondition(activity=Activity.WALK),
+    RecordingCondition(activity=Activity.RUN),
+    RecordingCondition(activity=Activity.RUN, tone=Tone.HIGH),
+    RecordingCondition(ear_side=EarSide.LEFT),
+)
+
+
+def concat_datasets(datasets: list[SynthDataset]) -> SynthDataset:
+    """Concatenate campaigns over the *same* population.
+
+    Labels must refer to the same profiles in every dataset; trial ids
+    are offset so they stay unique.
+    """
+    if not datasets:
+        raise ConfigError("need at least one dataset")
+    first = datasets[0]
+    # Identify people by their anatomy, not just their generic ids: two
+    # populations sampled from different seeds share the id scheme.
+    signature = [(p.person_id, p.mass, p.f0_hz, p.k1) for p in first.profiles]
+    offset = 0
+    trial_ids = []
+    for ds in datasets:
+        candidate = [(p.person_id, p.mass, p.f0_hz, p.k1) for p in ds.profiles]
+        if candidate != signature:
+            raise ConfigError("datasets cover different populations")
+        trial_ids.append(ds.trial_ids + offset)
+        offset += int(ds.trial_ids.max()) + 1 if len(ds) else 0
+    dropped: dict[str, int] = {}
+    for ds in datasets:
+        for pid, count in ds.dropped.items():
+            dropped[pid] = dropped.get(pid, 0) + count
+    return SynthDataset(
+        signal_arrays=np.concatenate([ds.signal_arrays for ds in datasets]),
+        features=np.concatenate([ds.features for ds in datasets]),
+        labels=np.concatenate([ds.labels for ds in datasets]),
+        trial_ids=np.concatenate(trial_ids),
+        profiles=first.profiles,
+        dropped=dropped,
+    )
+
+
+def generate_hired_corpus(
+    num_people: int = 80,
+    nominal_trials: int = 20,
+    condition_trials: int = 5,
+    cache: "DatasetCache | None" = None,
+) -> SynthDataset:
+    """The VSP's full training corpus: nominal + robustness conditions.
+
+    Every hired person contributes ``nominal_trials`` nominal recordings
+    plus ``condition_trials`` under each of :data:`TRAINING_CONDITIONS`,
+    all chopped at :data:`TRAINING_OFFSETS`.
+    """
+    from repro.datasets.cache import DatasetCache
+
+    cache = cache or DatasetCache()
+    base = hired_spec(num_people=num_people, trials_per_person=nominal_trials)
+    parts = [cache.get(base)]
+    for idx, condition in enumerate(TRAINING_CONDITIONS):
+        spec = dataclasses.replace(
+            base,
+            condition=condition,
+            trials_per_person=condition_trials,
+            recorder_seed=100 + idx,
+        )
+        parts.append(cache.get(spec))
+    return concat_datasets(parts)

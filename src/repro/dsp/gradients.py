@@ -1,0 +1,93 @@
+"""Gradient computation, sign split and interpolation (Section V-B).
+
+The paper separates positive- and negative-direction vibration by
+computing per-axis gradients (Eq. 8), splitting them by sign, and
+linearly interpolating each direction to ``n/2`` values so the CNN gets
+dimension-consistent inputs ``(2, 6, n/2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.types import NUM_AXES, ensure_signal_array
+
+
+def signal_gradients(signal_array: np.ndarray) -> np.ndarray:
+    """Per-axis gradients with unit (normalised) time step, ``(6, n-1)``.
+
+    Eq. 8 with ``|t_{i+1} - t_i|`` normalised to one: uniform sampling
+    makes the interval constant, so it only scales the gradients.
+    """
+    signal_array = ensure_signal_array(signal_array)
+    return np.diff(signal_array, axis=1)
+
+
+def resample_to_length(values: np.ndarray, length: int) -> np.ndarray:
+    """Linear interpolation of a 1-D sequence onto ``length`` points.
+
+    Edge cases follow the paper's intent of dimension consistency:
+    an empty sequence yields zeros (no motion in that direction) and a
+    single value is repeated.
+    """
+    if length <= 0:
+        raise ShapeError("length must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ShapeError("resample_to_length() expects a 1-D array")
+    if values.size == 0:
+        return np.zeros(length)
+    if values.size == 1:
+        return np.full(length, float(values[0]))
+    positions = np.linspace(0.0, values.size - 1.0, length)
+    return np.interp(positions, np.arange(values.size), values)
+
+
+def split_directions(gradients: np.ndarray, width: int) -> np.ndarray:
+    """Sign-split one axis's gradients into two fixed-width sequences.
+
+    Gradients >= 0 belong to the positive direction, the rest to the
+    negative direction; each side is resampled to ``width`` values.
+
+    Returns:
+        ``(2, width)`` -- row 0 positive, row 1 negative.
+    """
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if gradients.ndim != 1:
+        raise ShapeError("split_directions() expects a 1-D array")
+    positive = gradients[gradients >= 0.0]
+    negative = gradients[gradients < 0.0]
+    return np.stack(
+        [
+            resample_to_length(positive, width),
+            resample_to_length(negative, width),
+        ]
+    )
+
+
+def gradient_array(signal_array: np.ndarray, width: int | None = None) -> np.ndarray:
+    """Full Section V-B transform: signal array to ``(2, 6, width)``.
+
+    Args:
+        signal_array: preprocessed ``(6, n)`` array.
+        width: gradients per direction; defaults to ``n // 2``.
+    """
+    signal_array = ensure_signal_array(signal_array)
+    n = signal_array.shape[1]
+    width = n // 2 if width is None else width
+    grads = signal_gradients(signal_array)
+    out = np.empty((2, NUM_AXES, width))
+    for axis in range(NUM_AXES):
+        out[:, axis, :] = split_directions(grads[axis], width)
+    return out
+
+
+def gradient_array_batch(
+    signal_arrays: np.ndarray, width: int | None = None
+) -> np.ndarray:
+    """Vectorised convenience: ``(B, 6, n)`` to ``(B, 2, 6, width)``."""
+    signal_arrays = np.asarray(signal_arrays, dtype=np.float64)
+    if signal_arrays.ndim != 3:
+        raise ShapeError("expected (B, 6, n)")
+    return np.stack([gradient_array(s, width) for s in signal_arrays])

@@ -1,0 +1,58 @@
+"""Sliding-window framing and statistics.
+
+Section IV's onset detector divides the signal into windows of ten
+continuous values with a stride of ten and examines each window's
+standard deviation; these helpers implement that framing generically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+
+def frame(signal: np.ndarray, window: int, stride: int | None = None) -> np.ndarray:
+    """Split a 1-D signal into frames, shape ``(num_frames, window)``.
+
+    Trailing samples that do not fill a final window are dropped, which
+    matches the paper's fixed ten-sample windows.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ShapeError("frame() expects a 1-D signal")
+    if window <= 0:
+        raise ConfigError("window must be positive")
+    stride = window if stride is None else stride
+    if stride <= 0:
+        raise ConfigError("stride must be positive")
+    if signal.size < window:
+        return np.empty((0, window))
+    num_frames = 1 + (signal.size - window) // stride
+    idx = np.arange(window)[None, :] + stride * np.arange(num_frames)[:, None]
+    return signal[idx]
+
+
+def window_std(
+    signal: np.ndarray, window: int = 10, stride: int | None = None
+) -> np.ndarray:
+    """Standard deviation of each window, shape ``(num_frames,)``."""
+    frames = frame(signal, window, stride)
+    if frames.shape[0] == 0:
+        return np.empty(0)
+    return frames.std(axis=1)
+
+
+def window_start_indices(
+    num_samples: int, window: int, stride: int | None = None
+) -> np.ndarray:
+    """Sample index of the first value of each window."""
+    if window <= 0:
+        raise ConfigError("window must be positive")
+    stride = window if stride is None else stride
+    if stride <= 0:
+        raise ConfigError("stride must be positive")
+    if num_samples < window:
+        return np.empty(0, dtype=int)
+    num_frames = 1 + (num_samples - window) // stride
+    return stride * np.arange(num_frames)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the MandiPass reproduction.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subclasses are
+organised by subsystem rather than by severity.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class SignalError(ReproError):
+    """Base class for signal acquisition / processing errors."""
+
+
+class OnsetNotFoundError(SignalError):
+    """No vibration onset was detected in a recording.
+
+    Raised by the onset detector when no window satisfies the standard
+    deviation rule of the paper's Section IV.  A verification request
+    built from such a recording must be rejected, not silently padded.
+    """
+
+
+class SegmentTooShortError(SignalError):
+    """A recording does not contain ``n`` samples after the onset."""
+
+
+class ShapeError(SignalError, ValueError):
+    """An array had the wrong shape for the requested operation."""
+
+
+class ModelError(ReproError):
+    """Base class for neural-network / classical-ML errors."""
+
+
+class NotFittedError(ModelError, RuntimeError):
+    """An estimator was used before ``fit`` (or training) was called."""
+
+
+class SerializationError(ModelError):
+    """A model state dict could not be saved or restored."""
+
+
+class SecurityError(ReproError):
+    """Base class for template / enclave security violations."""
+
+
+class EnclaveSealedError(SecurityError):
+    """A sealed enclave slot was accessed without authorisation."""
+
+
+class TemplateRevokedError(SecurityError):
+    """A verification was attempted against a revoked template."""
+
+
+class EnrollmentError(ReproError):
+    """User enrollment could not be completed."""
+
+
+class VerificationError(ReproError):
+    """A verification request could not be evaluated (not a rejection)."""

@@ -1,0 +1,72 @@
+"""The shared 'production' extractor used by benchmarks and examples.
+
+Training the VSP extractor on the full hired corpus takes minutes in
+pure numpy, so the trained weights are cached on disk alongside the
+dataset cache.  Every benchmark that needs "the shipped model" calls
+:func:`get_production_model` and receives identical weights.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.config import ExtractorConfig, TrainingConfig
+from repro.core.extractor import TwoBranchExtractor
+from repro.core.training import train_extractor
+from repro.datasets.cache import DatasetCache
+from repro.datasets.standard import generate_hired_corpus
+from repro.nn.serialize import load_state_dict, save_state_dict
+
+
+def production_training_config(epochs: int = 30) -> TrainingConfig:
+    """The VSP's training recipe."""
+    return TrainingConfig(epochs=epochs, batch_size=64, weight_decay=1e-4)
+
+
+def get_production_model(
+    cache: DatasetCache | None = None,
+    num_people: int = 80,
+    nominal_trials: int = 20,
+    condition_trials: int = 5,
+    epochs: int = 30,
+    extractor_config: ExtractorConfig | None = None,
+    force_retrain: bool = False,
+) -> TwoBranchExtractor:
+    """Load (or train and cache) the production extractor.
+
+    The cache key covers everything that shapes the weights; change any
+    argument and a fresh model is trained.
+    """
+    from repro.datasets.standard import TRAINING_CONDITIONS
+
+    cache = cache or DatasetCache()
+    config = extractor_config or ExtractorConfig()
+    # The corpus composition is part of the weights' identity.
+    corpus_tag = f"tc{len(TRAINING_CONDITIONS)}"
+    key = (
+        f"model_p{num_people}n{nominal_trials}c{condition_trials}"
+        f"e{epochs}d{config.embedding_dim}"
+        f"ch{'-'.join(map(str, config.channels))}fe{config.frontend}{corpus_tag}"
+    )
+    path = pathlib.Path(cache.directory) / f"{key}.npz"
+    model = TwoBranchExtractor(config, num_classes=num_people, seed=0)
+    if path.exists() and not force_retrain:
+        model.load_state(load_state_dict(path))
+        model.eval()
+        return model
+
+    corpus = generate_hired_corpus(
+        num_people=num_people,
+        nominal_trials=nominal_trials,
+        condition_trials=condition_trials,
+        cache=cache,
+    )
+    model, _ = train_extractor(
+        corpus.features,
+        corpus.labels,
+        training_config=production_training_config(epochs),
+        model=model,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_state_dict(model.state_dict(), path)
+    return model

@@ -1,0 +1,69 @@
+"""Plain-text rendering of benchmark tables and series.
+
+Every benchmark prints the rows/series the paper reports; these helpers
+keep the formatting consistent and terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ShapeError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table."""
+    if not headers:
+        raise ShapeError("table needs headers")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ShapeError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A named (x, y) series as two aligned rows."""
+    if len(xs) != len(ys):
+        raise ShapeError("series lengths differ")
+    x_cells = [_fmt(x) for x in xs]
+    y_cells = [_fmt(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    label_w = max(len(x_label), len(y_label))
+    x_row = f"{x_label.ljust(label_w)} | " + " ".join(
+        c.rjust(w) for c, w in zip(x_cells, widths)
+    )
+    y_row = f"{y_label.ljust(label_w)} | " + " ".join(
+        c.rjust(w) for c, w in zip(y_cells, widths)
+    )
+    return f"{name}\n{x_row}\n{y_row}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

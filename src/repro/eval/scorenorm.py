@@ -1,0 +1,151 @@
+"""Score normalisation: Z-norm and T-norm.
+
+Classic speaker-verification techniques that transfer directly to
+MandiblePrint verification: raw cosine distances have per-template and
+per-probe offsets (some templates are simply 'hub-ier' than others);
+normalising against a cohort of impostor scores removes those offsets
+and tightens the genuine/impostor separation.
+
+* **Z-norm** (zero normalisation): per enrolled template, compute the
+  distance distribution against a cohort of impostor probes *at
+  enrollment time*; verification scores are standardised by those
+  statistics.
+* **T-norm** (test normalisation): per probe, compute distances against
+  a cohort of impostor templates *at verification time*; the probe's
+  score is standardised by those statistics.
+
+Both need only data the verification service provider already has (the
+hired-people corpus), so they fit the paper's deployment story without
+new assumptions.  After normalisation, scores are standardised
+distances: lower still means more alike, and thresholds are in sigma
+units rather than raw cosine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.similarity import pairwise_cosine_distance
+from repro.errors import ConfigError, ShapeError
+
+
+class ZNorm:
+    """Per-template score standardisation against a probe cohort.
+
+    Args:
+        cohort_embeddings: ``(C, d)`` impostor probes (e.g. hired-people
+            embeddings), fixed at enrollment time.
+    """
+
+    def __init__(self, cohort_embeddings: np.ndarray) -> None:
+        cohort = np.asarray(cohort_embeddings, dtype=np.float64)
+        if cohort.ndim != 2 or cohort.shape[0] < 2:
+            raise ShapeError("cohort must be (C >= 2, d)")
+        self.cohort = cohort
+
+    def statistics(self, template: np.ndarray) -> tuple[float, float]:
+        """Mean and std of the template's cohort distances."""
+        template = np.asarray(template, dtype=np.float64).reshape(1, -1)
+        distances = pairwise_cosine_distance(template, self.cohort)[0]
+        std = float(distances.std())
+        return float(distances.mean()), max(std, 1e-9)
+
+    def normalize(self, distance: float, template: np.ndarray) -> float:
+        """Standardise one raw distance for this template."""
+        mean, std = self.statistics(template)
+        return (distance - mean) / std
+
+    def normalize_matrix(
+        self, distances: np.ndarray, templates: np.ndarray
+    ) -> np.ndarray:
+        """Standardise a ``(P, T)`` probe-template distance matrix
+        column-wise (one statistic per template)."""
+        distances = np.asarray(distances, dtype=np.float64)
+        templates = np.asarray(templates, dtype=np.float64)
+        if distances.ndim != 2 or distances.shape[1] != templates.shape[0]:
+            raise ShapeError("distances must be (P, T) matching templates (T, d)")
+        cohort_d = pairwise_cosine_distance(templates, self.cohort)
+        means = cohort_d.mean(axis=1)
+        stds = np.maximum(cohort_d.std(axis=1), 1e-9)
+        return (distances - means[None, :]) / stds[None, :]
+
+
+class TNorm:
+    """Per-probe score standardisation against a template cohort.
+
+    Args:
+        cohort_templates: ``(C, d)`` impostor templates.
+    """
+
+    def __init__(self, cohort_templates: np.ndarray) -> None:
+        cohort = np.asarray(cohort_templates, dtype=np.float64)
+        if cohort.ndim != 2 or cohort.shape[0] < 2:
+            raise ShapeError("cohort must be (C >= 2, d)")
+        self.cohort = cohort
+
+    def normalize(self, distance: float, probe: np.ndarray) -> float:
+        """Standardise one raw distance for this probe."""
+        probe = np.asarray(probe, dtype=np.float64).reshape(1, -1)
+        cohort_d = pairwise_cosine_distance(probe, self.cohort)[0]
+        std = max(float(cohort_d.std()), 1e-9)
+        return (distance - float(cohort_d.mean())) / std
+
+    def normalize_matrix(
+        self, distances: np.ndarray, probes: np.ndarray
+    ) -> np.ndarray:
+        """Standardise a ``(P, T)`` distance matrix row-wise."""
+        distances = np.asarray(distances, dtype=np.float64)
+        probes = np.asarray(probes, dtype=np.float64)
+        if distances.ndim != 2 or distances.shape[0] != probes.shape[0]:
+            raise ShapeError("distances must be (P, T) matching probes (P, d)")
+        cohort_d = pairwise_cosine_distance(probes, self.cohort)
+        means = cohort_d.mean(axis=1)
+        stds = np.maximum(cohort_d.std(axis=1), 1e-9)
+        return (distances - means[:, None]) / stds[:, None]
+
+
+def normalized_pair_distances(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    cohort: np.ndarray,
+    method: str = "s-norm",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Genuine/impostor pair distances after score normalisation.
+
+    ``"z-norm"`` standardises each pair distance by the *second*
+    element's cohort statistics, ``"t-norm"`` by the first element's,
+    and ``"s-norm"`` averages the two (the symmetric variant commonly
+    used in modern speaker verification).
+
+    Returns:
+        ``(genuine, impostor)`` arrays of normalised distances.
+    """
+    if method not in ("z-norm", "t-norm", "s-norm"):
+        raise ConfigError("method must be 'z-norm', 't-norm' or 's-norm'")
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    if embeddings.ndim != 2 or labels.shape != (embeddings.shape[0],):
+        raise ShapeError("embeddings (B, d) and labels (B,) required")
+    cohort = np.asarray(cohort, dtype=np.float64)
+
+    distances = pairwise_cosine_distance(embeddings, embeddings)
+    cohort_d = pairwise_cosine_distance(embeddings, cohort)
+    means = cohort_d.mean(axis=1)
+    stds = np.maximum(cohort_d.std(axis=1), 1e-9)
+
+    z_scores = (distances - means[None, :]) / stds[None, :]
+    t_scores = (distances - means[:, None]) / stds[:, None]
+    if method == "z-norm":
+        normalized = z_scores
+    elif method == "t-norm":
+        normalized = t_scores
+    else:
+        normalized = 0.5 * (z_scores + t_scores)
+
+    upper_i, upper_j = np.triu_indices(embeddings.shape[0], k=1)
+    same = labels[upper_i] == labels[upper_j]
+    genuine = normalized[upper_i[same], upper_j[same]]
+    impostor = normalized[upper_i[~same], upper_j[~same]]
+    if genuine.size == 0 or impostor.size == 0:
+        raise ShapeError("need both genuine and impostor pairs")
+    return genuine, impostor

@@ -1,0 +1,163 @@
+"""IMU calibration routines.
+
+Real deployments calibrate the part before trusting it: estimate static
+biases from quiet periods, recover the gravity direction (and with it
+the earbud's mounting attitude), and convert raw counts back to
+physical units.  The pipeline itself is robust to these offsets (the
+high-pass and the min-max normalisation remove them), but analysis
+tooling and the examples want physical units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.imu.device import IMUDevice
+from repro.types import ensure_raw_recording
+
+_G = 9.80665
+
+
+@dataclasses.dataclass(frozen=True)
+class ImuCalibration:
+    """Static calibration estimated from a quiet wearing period.
+
+    Attributes:
+        accel_bias_counts: per-axis accelerometer offset *excluding*
+            gravity (counts).
+        gyro_bias_counts: per-axis gyroscope offset (counts).
+        gravity_direction: unit vector of gravity in the sensor frame.
+        gravity_magnitude_counts: measured |g| in counts (sanity check
+            against the device's nominal sensitivity).
+    """
+
+    accel_bias_counts: np.ndarray
+    gyro_bias_counts: np.ndarray
+    gravity_direction: np.ndarray
+    gravity_magnitude_counts: float
+
+
+def find_quiet_samples(
+    recording: np.ndarray, window: int = 10, quantile: float = 0.2
+) -> np.ndarray:
+    """Boolean mask of the quietest windows (pre-voicing wear).
+
+    Windows are ranked by their maximum per-axis accelerometer std; the
+    quietest ``quantile`` fraction is marked quiet.
+    """
+    recording = ensure_raw_recording(recording)
+    if window <= 1:
+        raise ConfigError("window must be > 1")
+    if not 0.0 < quantile <= 1.0:
+        raise ConfigError("quantile must lie in (0, 1]")
+    num = recording.shape[0] // window
+    if num == 0:
+        raise ShapeError("recording shorter than one window")
+    stds = np.array(
+        [
+            recording[i * window : (i + 1) * window, :3].std(axis=0).max()
+            for i in range(num)
+        ]
+    )
+    cutoff = np.quantile(stds, quantile)
+    mask = np.zeros(recording.shape[0], dtype=bool)
+    for i in range(num):
+        if stds[i] <= cutoff:
+            mask[i * window : (i + 1) * window] = True
+    return mask
+
+
+def calibrate_static(
+    recording: np.ndarray,
+    device: IMUDevice,
+    window: int = 10,
+) -> ImuCalibration:
+    """Estimate biases and the gravity vector from quiet samples.
+
+    The accelerometer's quiet-period mean is gravity plus bias; with
+    the device's nominal sensitivity the gravity magnitude is known, so
+    the bias is the residual after removing a vector of length |g| in
+    the mean's direction.  (This leaves any bias component parallel to
+    gravity unobservable from a single attitude — the classic
+    single-position limitation; multi-attitude calibration would need
+    the user to re-seat the bud, which MandiPass never requires.)
+    """
+    recording = ensure_raw_recording(recording)
+    quiet = find_quiet_samples(recording, window)
+    if quiet.sum() < window:
+        raise ShapeError("not enough quiet samples to calibrate")
+    accel_mean = recording[quiet, :3].mean(axis=0)
+    gyro_mean = recording[quiet, 3:].mean(axis=0)
+
+    magnitude = float(np.linalg.norm(accel_mean))
+    if magnitude < 1e-9:
+        raise ShapeError("degenerate quiet accelerometer mean")
+    direction = accel_mean / magnitude
+    nominal = _G * device.accel_sensitivity
+    accel_bias = accel_mean - direction * nominal
+    return ImuCalibration(
+        accel_bias_counts=accel_bias,
+        gyro_bias_counts=gyro_mean,
+        gravity_direction=direction,
+        gravity_magnitude_counts=magnitude,
+    )
+
+
+def apply_calibration(
+    recording: np.ndarray,
+    calibration: ImuCalibration,
+    device: IMUDevice,
+    remove_gravity: bool = True,
+) -> np.ndarray:
+    """Convert raw counts to physical units (m/s^2, rad/s).
+
+    Args:
+        remove_gravity: subtract the calibrated gravity vector from the
+            accelerometer axes.
+    """
+    recording = ensure_raw_recording(recording)
+    out = np.empty_like(recording)
+    accel = recording[:, :3] - calibration.accel_bias_counts
+    if remove_gravity:
+        accel = accel - calibration.gravity_direction * (
+            _G * device.accel_sensitivity
+        )
+    out[:, :3] = accel / device.accel_sensitivity
+    out[:, 3:] = (
+        recording[:, 3:] - calibration.gyro_bias_counts
+    ) / device.gyro_sensitivity
+    return out
+
+
+def allan_deviation(
+    samples: np.ndarray, sample_rate_hz: float, num_taus: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Allan deviation of a static sensor stream.
+
+    The standard characterisation of inertial-sensor noise: white noise
+    shows as a -1/2 slope, bias instability as the flat floor.  Used by
+    the IMU tests to verify the simulated noise behaves like a sensor.
+
+    Returns:
+        ``(taus_s, adev)`` arrays.
+    """
+    samples = np.asarray(samples, dtype=np.float64).reshape(-1)
+    if samples.size < 32:
+        raise ShapeError("need at least 32 samples")
+    if sample_rate_hz <= 0:
+        raise ConfigError("sample_rate_hz must be positive")
+    max_m = samples.size // 4
+    ms = np.unique(
+        np.logspace(0, np.log10(max_m), num_taus).astype(int)
+    )
+    taus = ms / sample_rate_hz
+    adev = np.empty(ms.size)
+    for idx, m in enumerate(ms):
+        num_bins = samples.size // m
+        means = samples[: num_bins * m].reshape(num_bins, m).mean(axis=1)
+        diffs = np.diff(means)
+        adev[idx] = np.sqrt(0.5 * np.mean(diffs**2))
+    return taus, adev

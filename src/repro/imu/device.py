@@ -1,0 +1,128 @@
+"""IMU device profiles.
+
+The paper evaluates two commodity parts, the InvenSense MPU-9250 and
+MPU-6050, and finds their EERs nearly identical (1.28 % vs 1.29 %).
+Profiles here carry the datasheet quantities that matter for that
+comparison: sensitivity (counts per physical unit at the configured
+full-scale range), output noise density, bias instability, quantisation
+word length and spike (glitch) statistics.
+
+Units convention: accelerometer signals are in m/s^2 before conversion,
+gyroscope signals in rad/s; ``raw counts = signal * sensitivity``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+_G = 9.80665  # standard gravity, m/s^2
+
+
+@dataclasses.dataclass(frozen=True)
+class IMUDevice:
+    """Datasheet-style description of a 6-axis IMU.
+
+    Attributes:
+        name: part name, e.g. ``"MPU-9250"``.
+        accel_sensitivity: counts per (m/s^2); at a +/-4 g full-scale
+            range a 16-bit part gives 8192 counts/g = 835 counts/(m/s^2).
+        gyro_sensitivity: counts per (rad/s).
+        accel_noise_counts: white output noise std in counts per sample.
+        gyro_noise_counts: white output noise std in counts per sample.
+        accel_bias_counts: maximum static bias magnitude in counts.
+        gyro_bias_counts: maximum static bias magnitude in counts.
+        bias_walk_counts: per-sample std of the in-run bias random walk.
+        full_scale_counts: saturation limit (two's-complement word).
+        spike_probability: per-sample probability of a glitch outlier
+            (hardware imperfection; the paper's Section IV motivates MAD
+            outlier removal with exactly these).
+        spike_magnitude_counts: typical magnitude of a glitch.
+        quantize: whether to round outputs to integer counts.
+    """
+
+    name: str
+    accel_sensitivity: float
+    gyro_sensitivity: float
+    accel_noise_counts: float
+    gyro_noise_counts: float
+    accel_bias_counts: float
+    gyro_bias_counts: float
+    bias_walk_counts: float
+    full_scale_counts: int
+    spike_probability: float
+    spike_magnitude_counts: float
+    quantize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.accel_sensitivity <= 0 or self.gyro_sensitivity <= 0:
+            raise ConfigError("sensitivities must be positive")
+        if self.full_scale_counts <= 0:
+            raise ConfigError("full_scale_counts must be positive")
+        if not 0.0 <= self.spike_probability < 0.2:
+            raise ConfigError("spike_probability must lie in [0, 0.2)")
+        for name in (
+            "accel_noise_counts",
+            "gyro_noise_counts",
+            "accel_bias_counts",
+            "gyro_bias_counts",
+            "bias_walk_counts",
+            "spike_magnitude_counts",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    @property
+    def gravity_counts(self) -> float:
+        """1 g expressed in accelerometer counts."""
+        return _G * self.accel_sensitivity
+
+
+# MPU-9250: +/-4 g accel (8192 LSB/g), +/-500 dps gyro (65.5 LSB/dps),
+# ~300 ug/sqrt(Hz) accel noise -> roughly 4 counts rms at a 350 Hz ODR.
+MPU9250 = IMUDevice(
+    name="MPU-9250",
+    accel_sensitivity=8192.0 / _G,
+    gyro_sensitivity=65.5 * 180.0 / 3.141592653589793,
+    accel_noise_counts=4.0,
+    gyro_noise_counts=3.0,
+    accel_bias_counts=60.0,
+    gyro_bias_counts=35.0,
+    bias_walk_counts=0.02,
+    full_scale_counts=32767,
+    spike_probability=0.004,
+    spike_magnitude_counts=900.0,
+)
+
+# MPU-6050: older part, slightly noisier (~400 ug/sqrt(Hz)) and more
+# glitch-prone; otherwise the same ranges.
+MPU6050 = IMUDevice(
+    name="MPU-6050",
+    accel_sensitivity=8192.0 / _G,
+    gyro_sensitivity=65.5 * 180.0 / 3.141592653589793,
+    accel_noise_counts=5.5,
+    gyro_noise_counts=4.0,
+    accel_bias_counts=80.0,
+    gyro_bias_counts=50.0,
+    bias_walk_counts=0.03,
+    full_scale_counts=32767,
+    spike_probability=0.006,
+    spike_magnitude_counts=1000.0,
+)
+
+# Noise-free reference device for unit tests and calibration.
+IDEAL_IMU = IMUDevice(
+    name="ideal",
+    accel_sensitivity=8192.0 / _G,
+    gyro_sensitivity=65.5 * 180.0 / 3.141592653589793,
+    accel_noise_counts=0.0,
+    gyro_noise_counts=0.0,
+    accel_bias_counts=0.0,
+    gyro_bias_counts=0.0,
+    bias_walk_counts=0.0,
+    full_scale_counts=32767,
+    spike_probability=0.0,
+    spike_magnitude_counts=0.0,
+    quantize=False,
+)

@@ -1,0 +1,88 @@
+"""Noise generators for the IMU model.
+
+Each function is pure given its RNG, so recordings are reproducible.
+The noise sources mirror the imperfections the paper's preprocessing
+stage exists to remove: white output noise, slowly walking bias, glitch
+spikes (handled by MAD outlier replacement), quantisation and
+saturation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+
+def white_noise(
+    shape: tuple[int, ...], std: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Zero-mean Gaussian output noise in counts."""
+    if std < 0:
+        raise ConfigError("std must be non-negative")
+    if std == 0:
+        return np.zeros(shape)
+    return rng.normal(0.0, std, size=shape)
+
+
+def bias_random_walk(
+    num_samples: int,
+    num_axes: int,
+    step_std: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """In-run bias instability as a random walk, ``(num_samples, num_axes)``."""
+    if num_samples < 0 or num_axes <= 0:
+        raise ConfigError("invalid dimensions for bias walk")
+    if step_std < 0:
+        raise ConfigError("step_std must be non-negative")
+    if step_std == 0 or num_samples == 0:
+        return np.zeros((num_samples, num_axes))
+    steps = rng.normal(0.0, step_std, size=(num_samples, num_axes))
+    return np.cumsum(steps, axis=0)
+
+
+def static_bias(
+    num_axes: int, max_magnitude: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-axis turn-on bias, uniform in ``[-max, +max]``."""
+    if max_magnitude < 0:
+        raise ConfigError("max_magnitude must be non-negative")
+    return rng.uniform(-max_magnitude, max_magnitude, size=num_axes)
+
+
+def inject_spikes(
+    samples: np.ndarray,
+    probability: float,
+    magnitude: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Add glitch outliers; returns a new array.
+
+    Each sample of each axis independently glitches with ``probability``;
+    a glitch adds ``+/- magnitude * LogNormal(0, 0.25)`` counts, the
+    'extremely large or small values' of Section IV.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ShapeError("samples must be (n, axes)")
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigError("probability must lie in [0, 1]")
+    if probability == 0.0 or magnitude == 0.0:
+        return samples.copy()
+    mask = rng.random(samples.shape) < probability
+    signs = rng.choice([-1.0, 1.0], size=samples.shape)
+    sizes = magnitude * np.exp(rng.normal(0.0, 0.25, size=samples.shape))
+    return samples + mask * signs * sizes
+
+
+def quantize(samples: np.ndarray) -> np.ndarray:
+    """Round to integer counts (kept as float64 for downstream math)."""
+    return np.rint(np.asarray(samples, dtype=np.float64))
+
+
+def saturate(samples: np.ndarray, full_scale: int) -> np.ndarray:
+    """Clip to the two's-complement word range ``[-fs-1, fs]``."""
+    if full_scale <= 0:
+        raise ConfigError("full_scale must be positive")
+    return np.clip(samples, -float(full_scale) - 1.0, float(full_scale))

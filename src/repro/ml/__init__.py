@@ -1,0 +1,45 @@
+"""Classical-ML substrate: the paper's baseline classifiers.
+
+Fig. 7(b) and Fig. 10(a) compare the biometric extractor against SVM,
+KNN, decision tree, naive Bayes and a plain neural network.  This
+package implements each from scratch on numpy, behind a common
+fit/predict protocol (:mod:`repro.ml.base`), plus the 36 statistical
+features of Section V-A (:mod:`repro.ml.features`).
+"""
+
+from repro.ml.base import Estimator, accuracy, train_test_split
+from repro.ml.evaluation import (
+    confusion_matrix,
+    cross_validate,
+    macro_f1,
+    precision_recall_f1,
+    stratified_k_fold,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.features import statistical_features, statistical_features_batch
+from repro.ml.knn import KNNClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import GaussianNBClassifier
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "Estimator",
+    "GaussianNBClassifier",
+    "KNNClassifier",
+    "LinearSVMClassifier",
+    "LogisticRegressionClassifier",
+    "MLPClassifier",
+    "RandomForestClassifier",
+    "confusion_matrix",
+    "cross_validate",
+    "macro_f1",
+    "precision_recall_f1",
+    "stratified_k_fold",
+    "accuracy",
+    "statistical_features",
+    "statistical_features_batch",
+    "train_test_split",
+]

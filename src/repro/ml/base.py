@@ -1,0 +1,98 @@
+"""Common estimator protocol and evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, ShapeError
+
+
+class Estimator:
+    """fit/predict protocol shared by every classifier in this package."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "Estimator":
+        raise NotImplementedError
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_fit_inputs(
+        self, inputs: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels)
+        if inputs.ndim != 2:
+            raise ShapeError("inputs must be (n_samples, n_features)")
+        if labels.shape != (inputs.shape[0],):
+            raise ShapeError("labels must be (n_samples,)")
+        if inputs.shape[0] == 0:
+            raise ShapeError("cannot fit on zero samples")
+        return inputs, labels.astype(np.int64)
+
+    def _check_predict_inputs(self, inputs: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2:
+            raise ShapeError("inputs must be (n_samples, n_features)")
+        return inputs
+
+    def score(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on the given set."""
+        return accuracy(labels, self.predict(inputs))
+
+
+def accuracy(true_labels: np.ndarray, predicted: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    true_labels = np.asarray(true_labels)
+    predicted = np.asarray(predicted)
+    if true_labels.shape != predicted.shape:
+        raise ShapeError("label arrays must have equal shapes")
+    if true_labels.size == 0:
+        raise ShapeError("cannot score zero samples")
+    return float(np.mean(true_labels == predicted))
+
+
+def train_test_split(
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally per-class stratified) split.
+
+    The paper uses 80 % / 20 % splits for the classification experiments.
+
+    Returns:
+        ``(train_inputs, test_inputs, train_labels, test_labels)``.
+    """
+    inputs = np.asarray(inputs)
+    labels = np.asarray(labels)
+    if not 0.0 < test_fraction < 1.0:
+        raise ShapeError("test_fraction must lie in (0, 1)")
+    if inputs.shape[0] != labels.shape[0]:
+        raise ShapeError("inputs and labels disagree on sample count")
+    rng = np.random.default_rng(seed)
+    test_idx: list[int] = []
+    if stratify:
+        for cls in np.unique(labels):
+            members = np.flatnonzero(labels == cls)
+            rng.shuffle(members)
+            take = max(1, int(round(test_fraction * members.size)))
+            test_idx.extend(members[:take].tolist())
+    else:
+        order = rng.permutation(inputs.shape[0])
+        take = max(1, int(round(test_fraction * inputs.shape[0])))
+        test_idx = order[:take].tolist()
+    test_mask = np.zeros(inputs.shape[0], dtype=bool)
+    test_mask[test_idx] = True
+    return (
+        inputs[~test_mask],
+        inputs[test_mask],
+        labels[~test_mask],
+        labels[test_mask],
+    )

@@ -1,0 +1,95 @@
+"""Classification evaluation: confusion matrices, per-class metrics,
+cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.ml.base import Estimator
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predicted: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = samples of class i predicted as j."""
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    if true_labels.shape != predicted.shape or true_labels.ndim != 1:
+        raise ShapeError("label arrays must be equal-length 1-D")
+    if true_labels.size == 0:
+        raise ShapeError("empty label arrays")
+    if num_classes is None:
+        num_classes = int(max(true_labels.max(), predicted.max())) + 1
+    if true_labels.min() < 0 or predicted.min() < 0:
+        raise ShapeError("labels must be non-negative")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (true_labels, predicted), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    true_labels: np.ndarray, predicted: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    matrix = confusion_matrix(true_labels, predicted)
+    true_pos = np.diag(matrix).astype(np.float64)
+    predicted_pos = matrix.sum(axis=0).astype(np.float64)
+    actual_pos = matrix.sum(axis=1).astype(np.float64)
+    precision = np.divide(
+        true_pos, predicted_pos, out=np.zeros_like(true_pos), where=predicted_pos > 0
+    )
+    recall = np.divide(
+        true_pos, actual_pos, out=np.zeros_like(true_pos), where=actual_pos > 0
+    )
+    denom = precision + recall
+    f1 = np.divide(
+        2.0 * precision * recall, denom, out=np.zeros_like(true_pos), where=denom > 0
+    )
+    return precision, recall, f1
+
+
+def macro_f1(true_labels: np.ndarray, predicted: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    _, _, f1 = precision_recall_f1(true_labels, predicted)
+    return float(f1.mean())
+
+
+def stratified_k_fold(
+    labels: np.ndarray, k: int = 5, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Stratified fold index masks ``[(train_mask, test_mask), ...]``."""
+    labels = np.asarray(labels)
+    if k < 2:
+        raise ConfigError("k must be at least 2")
+    rng = np.random.default_rng(seed)
+    fold_of = np.empty(labels.shape[0], dtype=np.int64)
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        if members.size < k:
+            raise ConfigError(f"class {cls} has fewer than k={k} samples")
+        rng.shuffle(members)
+        fold_of[members] = np.arange(members.size) % k
+    folds = []
+    for fold in range(k):
+        test_mask = fold_of == fold
+        folds.append((~test_mask, test_mask))
+    return folds
+
+
+def cross_validate(
+    estimator_factory,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    k: int = 5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-fold accuracies of freshly constructed estimators."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    labels = np.asarray(labels)
+    scores = []
+    for train_mask, test_mask in stratified_k_fold(labels, k, seed):
+        estimator: Estimator = estimator_factory()
+        estimator.fit(inputs[train_mask], labels[train_mask])
+        scores.append(estimator.score(inputs[test_mask], labels[test_mask]))
+    return np.array(scores)

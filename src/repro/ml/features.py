@@ -1,0 +1,55 @@
+"""The 36 statistical features of Section V-A.
+
+For each of the six axes of a signal array the paper computes six
+statistics -- mean, median, variance, standard deviation, upper
+quartile, lower quartile -- yielding a 36-dimensional statistical
+feature sample (SFS).  The paper shows SFSes are *not* person-
+distinguishable (best classical accuracy < 65 %), which motivates the
+deep extractor; our Fig. 7 bench reproduces that failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import NUM_AXES, ensure_signal_array
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "mean",
+    "median",
+    "variance",
+    "std",
+    "upper_quartile",
+    "lower_quartile",
+)
+
+
+def axis_statistics(segment: np.ndarray) -> np.ndarray:
+    """The six statistics of one axis segment, in FEATURE_NAMES order."""
+    segment = np.asarray(segment, dtype=np.float64)
+    return np.array(
+        [
+            segment.mean(),
+            np.median(segment),
+            segment.var(),
+            segment.std(),
+            np.percentile(segment, 75),
+            np.percentile(segment, 25),
+        ]
+    )
+
+
+def statistical_features(signal_array: np.ndarray) -> np.ndarray:
+    """One SFS: ``(36,)`` = 6 axes x 6 statistics."""
+    signal_array = ensure_signal_array(signal_array)
+    return np.concatenate(
+        [axis_statistics(signal_array[axis]) for axis in range(NUM_AXES)]
+    )
+
+
+def statistical_features_batch(signal_arrays: np.ndarray) -> np.ndarray:
+    """SFS matrix ``(B, 36)`` for a batch of ``(B, 6, n)`` signal arrays."""
+    signal_arrays = np.asarray(signal_arrays, dtype=np.float64)
+    if signal_arrays.ndim != 3:
+        raise ValueError("expected (B, 6, n)")
+    return np.stack([statistical_features(s) for s in signal_arrays])

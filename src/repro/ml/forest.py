@@ -1,0 +1,64 @@
+"""Random forest: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import Estimator
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Estimator):
+    """Majority vote over bootstrap-trained trees.
+
+    Each tree trains on a bootstrap resample of the data restricted to a
+    random subset of ``sqrt(d)`` features (the classic Breiman recipe).
+    """
+
+    def __init__(
+        self,
+        num_trees: int = 20,
+        max_depth: int = 10,
+        min_samples_split: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_trees <= 0:
+            raise ConfigError("num_trees must be positive")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+        self._feature_sets: list[np.ndarray] = []
+        self._num_classes = 0
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        inputs, labels = self._check_fit_inputs(inputs, labels)
+        rng = np.random.default_rng(self.seed)
+        n, d = inputs.shape
+        subset_size = max(1, int(round(np.sqrt(d))))
+        self._num_classes = int(labels.max()) + 1
+        self._trees = []
+        self._feature_sets = []
+        for _ in range(self.num_trees):
+            rows = rng.integers(0, n, size=n)
+            features = rng.choice(d, size=subset_size, replace=False)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+            )
+            tree.fit(inputs[np.ix_(rows, features)], labels[rows])
+            self._trees.append(tree)
+            self._feature_sets.append(features)
+        self._fitted = True
+        return self
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._check_predict_inputs(inputs)
+        votes = np.zeros((inputs.shape[0], self._num_classes), dtype=np.int64)
+        for tree, features in zip(self._trees, self._feature_sets):
+            predictions = tree.predict(inputs[:, features])
+            votes[np.arange(inputs.shape[0]), predictions] += 1
+        return np.argmax(votes, axis=1)

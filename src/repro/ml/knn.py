@@ -1,0 +1,56 @@
+"""k-nearest-neighbours classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import Estimator
+
+
+class KNNClassifier(Estimator):
+    """Majority vote among the ``k`` nearest training samples.
+
+    Distances are Euclidean; features are standardised internally so
+    high-variance statistics do not dominate (the SFS features mix raw
+    counts and squared counts).
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ConfigError("k must be positive")
+        self.k = k
+        self._train_inputs: np.ndarray | None = None
+        self._train_labels: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "KNNClassifier":
+        inputs, labels = self._check_fit_inputs(inputs, labels)
+        self._mean = inputs.mean(axis=0)
+        std = inputs.std(axis=0)
+        self._std = np.where(std == 0.0, 1.0, std)
+        self._train_inputs = (inputs - self._mean) / self._std
+        self._train_labels = labels
+        self._fitted = True
+        return self
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._check_predict_inputs(inputs)
+        assert self._train_inputs is not None and self._train_labels is not None
+        scaled = (inputs - self._mean) / self._std
+        # Squared Euclidean distances, (n_test, n_train).
+        dists = (
+            np.sum(scaled**2, axis=1)[:, None]
+            - 2.0 * scaled @ self._train_inputs.T
+            + np.sum(self._train_inputs**2, axis=1)[None, :]
+        )
+        k = min(self.k, self._train_inputs.shape[0])
+        nearest = np.argpartition(dists, k - 1, axis=1)[:, :k]
+        votes = self._train_labels[nearest]
+        out = np.empty(inputs.shape[0], dtype=np.int64)
+        for i, row in enumerate(votes):
+            values, counts = np.unique(row, return_counts=True)
+            out[i] = values[np.argmax(counts)]
+        return out

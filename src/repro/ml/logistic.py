@@ -1,0 +1,79 @@
+"""Multinomial logistic regression (softmax regression)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import Estimator
+from repro.nn.functional import softmax
+
+
+class LogisticRegressionClassifier(Estimator):
+    """Softmax regression trained by full-batch gradient descent.
+
+    Features are standardised internally; L2 regularisation keeps the
+    weights bounded on separable data.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        epochs: int = 200,
+        l2: float = 1e-3,
+    ) -> None:
+        super().__init__()
+        if learning_rate <= 0 or epochs <= 0:
+            raise ConfigError("learning_rate and epochs must be positive")
+        if l2 < 0:
+            raise ConfigError("l2 must be non-negative")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self._weights: np.ndarray | None = None
+        self._bias: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(
+        self, inputs: np.ndarray, labels: np.ndarray
+    ) -> "LogisticRegressionClassifier":
+        inputs, labels = self._check_fit_inputs(inputs, labels)
+        self._mean = inputs.mean(axis=0)
+        std = inputs.std(axis=0)
+        self._std = np.where(std == 0.0, 1.0, std)
+        scaled = (inputs - self._mean) / self._std
+
+        self._classes = np.unique(labels)
+        index = {cls: i for i, cls in enumerate(self._classes)}
+        dense = np.array([index[l] for l in labels])
+        n, d = scaled.shape
+        k = self._classes.size
+        one_hot = np.zeros((n, k))
+        one_hot[np.arange(n), dense] = 1.0
+
+        weights = np.zeros((d, k))
+        bias = np.zeros(k)
+        for _ in range(self.epochs):
+            probs = softmax(scaled @ weights + bias)
+            error = probs - one_hot
+            grad_w = scaled.T @ error / n + self.l2 * weights
+            grad_b = error.mean(axis=0)
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self._weights = weights
+        self._bias = bias
+        self._fitted = True
+        return self
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._check_predict_inputs(inputs)
+        assert self._weights is not None
+        scaled = (inputs - self._mean) / self._std
+        return softmax(scaled @ self._weights + self._bias)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(inputs)
+        assert self._classes is not None
+        return self._classes[np.argmax(probs, axis=1)]

@@ -1,0 +1,55 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+
+
+class GaussianNBClassifier(Estimator):
+    """Per-class independent Gaussians with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        super().__init__()
+        self.var_smoothing = var_smoothing
+        self._classes: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+        self._vars: np.ndarray | None = None
+        self._log_priors: np.ndarray | None = None
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "GaussianNBClassifier":
+        inputs, labels = self._check_fit_inputs(inputs, labels)
+        self._classes = np.unique(labels)
+        num_classes = self._classes.size
+        num_features = inputs.shape[1]
+        self._means = np.empty((num_classes, num_features))
+        self._vars = np.empty((num_classes, num_features))
+        self._log_priors = np.empty(num_classes)
+        # Smooth with a fraction of the largest feature variance so that
+        # zero-variance features never produce infinite densities.
+        epsilon = self.var_smoothing * float(inputs.var(axis=0).max() or 1.0)
+        for idx, cls in enumerate(self._classes):
+            members = inputs[labels == cls]
+            self._means[idx] = members.mean(axis=0)
+            self._vars[idx] = members.var(axis=0) + epsilon
+            self._log_priors[idx] = np.log(members.shape[0] / inputs.shape[0])
+        self._fitted = True
+        return self
+
+    def predict_log_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Unnormalised per-class log joint likelihoods, ``(n, classes)``."""
+        inputs = self._check_predict_inputs(inputs)
+        assert self._means is not None and self._vars is not None
+        diff = inputs[:, None, :] - self._means[None, :, :]
+        log_like = -0.5 * np.sum(
+            np.log(2.0 * np.pi * self._vars)[None, :, :]
+            + diff**2 / self._vars[None, :, :],
+            axis=2,
+        )
+        return log_like + self._log_priors[None, :]
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        assert self._classes is not None or True
+        scores = self.predict_log_proba(inputs)
+        return self._classes[np.argmax(scores, axis=1)]

@@ -1,0 +1,113 @@
+"""Linear SVM trained with Pegasos (primal sub-gradient descent).
+
+One-vs-rest multi-class reduction: one hinge-loss separator per class,
+predictions by maximum margin.  Pegasos (Shalev-Shwartz et al.) is a
+simple, well-understood solver that matches the accuracy of SMO on
+linearly separable-ish problems at a fraction of the code complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import Estimator
+
+
+class LinearSVMClassifier(Estimator):
+    """One-vs-rest linear SVM.
+
+    Args:
+        regularization: Pegasos lambda (weight-decay strength).
+        epochs: passes over the training set per binary problem.
+        seed: sampling order randomness.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 5e-2,
+        epochs: int = 30,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if regularization <= 0:
+            raise ConfigError("regularization must be positive")
+        if epochs <= 0:
+            raise ConfigError("epochs must be positive")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.seed = seed
+        self._classes: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self._biases: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _train_binary(
+        self, inputs: np.ndarray, targets: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        """Pegasos on +/-1 targets; returns averaged (weights, bias).
+
+        The returned solution averages the iterates over the second half
+        of training -- the classic Pegasos averaging that removes the
+        last-iterate noise of sub-gradient descent.
+        """
+        n, d = inputs.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        lam = self.regularization
+        step = 0
+        avg_weights = np.zeros(d)
+        avg_bias = 0.0
+        avg_count = 0
+        burn_in = (self.epochs // 2) * n
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for idx in order:
+                step += 1
+                eta = 1.0 / (lam * step)
+                margin = targets[idx] * (inputs[idx] @ weights + bias)
+                weights *= 1.0 - eta * lam
+                if margin < 1.0:
+                    weights += eta * targets[idx] * inputs[idx]
+                    bias += eta * targets[idx]
+                if step > burn_in:
+                    avg_weights += weights
+                    avg_bias += bias
+                    avg_count += 1
+        if avg_count == 0:
+            return weights, bias
+        return avg_weights / avg_count, avg_bias / avg_count
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "LinearSVMClassifier":
+        inputs, labels = self._check_fit_inputs(inputs, labels)
+        self._mean = inputs.mean(axis=0)
+        std = inputs.std(axis=0)
+        self._std = np.where(std == 0.0, 1.0, std)
+        scaled = (inputs - self._mean) / self._std
+
+        self._classes = np.unique(labels)
+        rng = np.random.default_rng(self.seed)
+        weights = []
+        biases = []
+        for cls in self._classes:
+            targets = np.where(labels == cls, 1.0, -1.0)
+            w, b = self._train_binary(scaled, targets, rng)
+            weights.append(w)
+            biases.append(b)
+        self._weights = np.stack(weights)
+        self._biases = np.array(biases)
+        self._fitted = True
+        return self
+
+    def decision_function(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-class margins, ``(n_samples, n_classes)``."""
+        inputs = self._check_predict_inputs(inputs)
+        assert self._weights is not None
+        scaled = (inputs - self._mean) / self._std
+        return scaled @ self._weights.T + self._biases
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(inputs)
+        assert self._classes is not None
+        return self._classes[np.argmax(scores, axis=1)]

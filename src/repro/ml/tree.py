@@ -1,0 +1,146 @@
+"""CART decision tree classifier (Gini impurity, binary splits)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import Estimator
+
+
+@dataclasses.dataclass
+class _Node:
+    """One tree node; leaves carry a prediction, splits carry children."""
+
+    prediction: int
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier(Estimator):
+    """Greedy CART with depth and minimum-samples stopping rules.
+
+    Candidate thresholds are midpoints between consecutive sorted unique
+    feature values; the split minimising weighted Gini impurity wins.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        max_thresholds: int = 32,
+    ) -> None:
+        super().__init__()
+        if max_depth <= 0:
+            raise ConfigError("max_depth must be positive")
+        if min_samples_split < 2:
+            raise ConfigError("min_samples_split must be >= 2")
+        if max_thresholds < 2:
+            raise ConfigError("max_thresholds must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_thresholds = max_thresholds
+        self._root: _Node | None = None
+        self._num_classes = 0
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        inputs, labels = self._check_fit_inputs(inputs, labels)
+        self._num_classes = int(labels.max()) + 1
+        self._root = self._build(inputs, labels, depth=0)
+        self._fitted = True
+        return self
+
+    def _majority(self, labels: np.ndarray) -> int:
+        counts = np.bincount(labels, minlength=self._num_classes)
+        return int(np.argmax(counts))
+
+    def _build(self, inputs: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=self._majority(labels))
+        if (
+            depth >= self.max_depth
+            or labels.size < self.min_samples_split
+            or np.unique(labels).size == 1
+        ):
+            return node
+
+        best_gain = 0.0
+        best: tuple[int, float] | None = None
+        parent_counts = np.bincount(labels, minlength=self._num_classes)
+        parent_gini = _gini(parent_counts)
+        n = labels.size
+        for feature in range(inputs.shape[1]):
+            column = inputs[:, feature]
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            midpoints = (values[:-1] + values[1:]) / 2.0
+            if midpoints.size > self.max_thresholds:
+                take = np.linspace(
+                    0, midpoints.size - 1, self.max_thresholds
+                ).astype(int)
+                midpoints = midpoints[take]
+            for threshold in midpoints:
+                mask = column <= threshold
+                left_n = int(mask.sum())
+                if left_n == 0 or left_n == n:
+                    continue
+                left_counts = np.bincount(
+                    labels[mask], minlength=self._num_classes
+                )
+                right_counts = parent_counts - left_counts
+                gain = parent_gini - (
+                    left_n / n * _gini(left_counts)
+                    + (n - left_n) / n * _gini(right_counts)
+                )
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = inputs[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(inputs[mask], labels[mask], depth + 1)
+        node.right = self._build(inputs[~mask], labels[~mask], depth + 1)
+        return node
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._check_predict_inputs(inputs)
+        assert self._root is not None
+        out = np.empty(inputs.shape[0], dtype=np.int64)
+        for i, row in enumerate(inputs):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.prediction
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise ConfigError("tree is not fitted")
+        return walk(self._root)

@@ -1,0 +1,99 @@
+"""Additional activation layers beyond the paper's ReLU / Sigmoid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, ShapeError
+from repro.nn.layers import Module
+
+
+class Tanh(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ModelError("backward called before forward")
+        out = grad * (1.0 - self._out**2)
+        self._out = None
+        return out
+
+
+class LeakyReLU(Module):
+    """``max(x, slope * x)`` with a small negative slope."""
+
+    def __init__(self, slope: float = 0.01) -> None:
+        super().__init__()
+        if not 0.0 <= slope < 1.0:
+            raise ShapeError("slope must lie in [0, 1)")
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward called before forward")
+        out = np.where(self._mask, grad, self.slope * grad)
+        self._mask = None
+        return out
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        inner = self._C * (x + 0.044715 * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ModelError("backward called before forward")
+        x = self._input
+        inner = self._C * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        d_inner = self._C * (1.0 + 3.0 * 0.044715 * x**2)
+        derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * x * (1.0 - tanh_inner**2) * d_inner
+        self._input = None
+        return grad * derivative
+
+
+class Softmax(Module):
+    """Row-wise softmax layer (for inference pipelines; training uses
+    the fused :class:`~repro.nn.losses.CrossEntropyLoss`)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ShapeError("Softmax expects (B, K)")
+        shifted = x - x.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        self._out = exp / exp.sum(axis=1, keepdims=True)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ModelError("backward called before forward")
+        s = self._out
+        dot = np.sum(grad * s, axis=1, keepdims=True)
+        out = s * (grad - dot)
+        self._out = None
+        return out

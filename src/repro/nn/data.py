@@ -1,0 +1,75 @@
+"""Datasets and mini-batch loading."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+
+class ArrayDataset:
+    """Pairs an input tensor with integer labels."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray) -> None:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels)
+        if inputs.shape[0] != labels.shape[0]:
+            raise ShapeError(
+                f"inputs ({inputs.shape[0]}) and labels ({labels.shape[0]}) disagree"
+            )
+        if labels.ndim != 1:
+            raise ShapeError("labels must be one-dimensional")
+        self.inputs = inputs
+        self.labels = labels.astype(np.int64)
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, idx: int) -> tuple[np.ndarray, int]:
+        return self.inputs[idx], int(self.labels[idx])
+
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+
+class DataLoader:
+    """Shuffling mini-batch iterator with a deterministic RNG.
+
+    Each call to ``iter()`` reshuffles (when ``shuffle`` is set) using
+    the generator's evolving state, so epochs see different orders while
+    the whole run stays reproducible from the seed.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.inputs[idx], self.dataset.labels[idx]

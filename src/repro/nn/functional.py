@@ -1,0 +1,152 @@
+"""Stateless tensor operations: padding, im2col/col2im, activations.
+
+The convolution layers in :mod:`repro.nn.layers` lower convolution onto
+matrix multiplication through im2col; ``col2im`` scatters gradients back.
+Both support asymmetric strides (the paper's extractor uses 1x2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def pad2d(x: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:
+    """Zero-pad the last two axes of a ``(B, C, H, W)`` tensor."""
+    if x.ndim != 4:
+        raise ShapeError("pad2d expects (B, C, H, W)")
+    if pad_h < 0 or pad_w < 0:
+        raise ShapeError("padding must be non-negative")
+    if pad_h == 0 and pad_w == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+
+
+def unpad2d(x: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:
+    """Inverse of :func:`pad2d`."""
+    if pad_h == 0 and pad_w == 0:
+        return x
+    h_stop = -pad_h if pad_h else None
+    w_stop = -pad_w if pad_w else None
+    return x[:, :, pad_h:h_stop, pad_w:w_stop]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output length of a 1-D convolution dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output collapsed: size={size}, kernel={kernel}, "
+            f"stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    pad: tuple[int, int],
+) -> np.ndarray:
+    """Unfold sliding kernel windows into columns.
+
+    Args:
+        x: ``(B, C, H, W)`` input.
+        kernel: ``(kh, kw)``.
+        stride: ``(sh, sw)``.
+        pad: ``(ph, pw)`` symmetric zero padding.
+
+    Returns:
+        ``(B, C * kh * kw, out_h * out_w)`` columns.
+    """
+    if x.ndim != 4:
+        raise ShapeError("im2col expects (B, C, H, W)")
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+    padded = pad2d(x, ph, pw)
+
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    return cols.reshape(batch, channels * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    pad: tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add columns back onto the (padded) input grid.
+
+    The adjoint of :func:`im2col`; overlapping windows accumulate,
+    which is exactly the gradient of the unfold operation.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+    expected = (batch, channels * kh * kw, out_h * out_w)
+    if cols.shape != expected:
+        raise ShapeError(f"col2im expected {expected}, got {cols.shape}")
+
+    cols = cols.reshape(batch, channels, kh, kw, out_h, out_w)
+    padded = np.zeros(
+        (batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype
+    )
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    return unpad2d(padded, ph, pw)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    return grad * (x > 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Numerically stable piecewise formulation.
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_grad(out: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    """Gradient given the *output* of the sigmoid."""
+    return grad * out * (1.0 - out)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilisation."""
+    if logits.ndim != 2:
+        raise ShapeError("softmax expects (B, K) logits")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    if logits.ndim != 2:
+        raise ShapeError("log_softmax expects (B, K) logits")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))

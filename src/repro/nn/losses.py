@@ -1,0 +1,74 @@
+"""Loss functions.
+
+``CrossEntropyLoss`` combines log-softmax and negative log-likelihood,
+returning the mean loss and exposing the logits gradient -- the training
+entry point of the paper's Section V-C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ShapeError("logits must be (B, K)")
+        if labels.shape != (logits.shape[0],):
+            raise ShapeError("labels must be (B,) integers")
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ShapeError("label out of range")
+        log_probs = F.log_softmax(logits)
+        batch = logits.shape[0]
+        loss = -log_probs[np.arange(batch), labels].mean()
+        self._cache = (logits, labels)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits, ``(B, K)``."""
+        if self._cache is None:
+            raise ShapeError("backward called before forward")
+        logits, labels = self._cache
+        batch = logits.shape[0]
+        grad = F.softmax(logits)
+        grad[np.arange(batch), labels] -= 1.0
+        self._cache = None
+        return grad / batch
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error; used by nn unit tests and ablations."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ShapeError("prediction and target shapes differ")
+        self._cache = (prediction, target)
+        return float(np.mean((prediction - target) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward")
+        prediction, target = self._cache
+        self._cache = None
+        return 2.0 * (prediction - target) / prediction.size
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)

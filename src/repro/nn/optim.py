@@ -1,0 +1,153 @@
+"""Optimisers: SGD with momentum and Adam.
+
+The paper trains the biometric extractor with Adam (Section V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.tensor import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list."""
+
+    def __init__(self, parameters: list[Parameter]) -> None:
+        if not parameters:
+            raise ConfigError("optimizer needs at least one parameter")
+        self.parameters = list(parameters)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError("momentum must lie in [0, 1)")
+        if weight_decay < 0:
+            raise ConfigError("weight_decay must be non-negative")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigError("betas must lie in [0, 1)")
+        if eps <= 0:
+            raise ConfigError("eps must be positive")
+        if weight_decay < 0:
+            raise ConfigError("weight_decay must be non-negative")
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - beta1**t
+        bias2 = 1.0 - beta2**t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with optional momentum (Tieleman & Hinton)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigError("alpha must lie in [0, 1)")
+        if eps <= 0:
+            raise ConfigError("eps must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError("momentum must lie in [0, 1)")
+        self.lr = lr
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
+        self._buf = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, square_avg, buf in zip(
+            self.parameters, self._square_avg, self._buf
+        ):
+            grad = param.grad
+            square_avg *= self.alpha
+            square_avg += (1.0 - self.alpha) * grad**2
+            update = grad / (np.sqrt(square_avg) + self.eps)
+            if self.momentum:
+                buf *= self.momentum
+                buf += update
+                update = buf
+            param.data -= self.lr * update

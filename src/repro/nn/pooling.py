@@ -1,0 +1,126 @@
+"""Pooling layers.
+
+The paper's extractor uses strided convolution rather than pooling, but
+the ablation benches and downstream users extending the architecture
+need the standard pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, ShapeError
+from repro.nn.functional import conv_output_size
+from repro.nn.layers import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    def __init__(
+        self,
+        kernel_size: tuple[int, int],
+        stride: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__()
+        kh, kw = kernel_size
+        if kh <= 0 or kw <= 0:
+            raise ShapeError("kernel dims must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride[0] <= 0 or self.stride[1] <= 0:
+            raise ShapeError("stride dims must be positive")
+        self._cache: tuple | None = None
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """Gather pooling windows: ``(B, C, out_h, out_w, kh * kw)``."""
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        batch, channels, height, width = x.shape
+        out_h = conv_output_size(height, kh, sh, 0)
+        out_w = conv_output_size(width, kw, sw, 0)
+        windows = np.empty((batch, channels, out_h, out_w, kh * kw), dtype=x.dtype)
+        idx = 0
+        for i in range(kh):
+            for j in range(kw):
+                windows[..., idx] = x[
+                    :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
+                ]
+                idx += 1
+        return windows
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError("MaxPool2d expects (B, C, H, W)")
+        windows = self._windows(x)
+        arg = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, arg)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        input_shape, arg = self._cache
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        grad_x = np.zeros(input_shape, dtype=grad.dtype)
+        batch, channels, out_h, out_w = grad.shape
+        # Scatter each output gradient back to its argmax position.
+        rows = arg // kw
+        cols = arg % kw
+        b_idx, c_idx, i_idx, j_idx = np.indices(grad.shape)
+        np.add.at(
+            grad_x,
+            (b_idx, c_idx, i_idx * sh + rows, j_idx * sw + cols),
+            grad,
+        )
+        self._cache = None
+        return grad_x
+
+
+class AvgPool2d(Module):
+    """Average pooling over strided windows."""
+
+    def __init__(
+        self,
+        kernel_size: tuple[int, int],
+        stride: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__()
+        kh, kw = kernel_size
+        if kh <= 0 or kw <= 0:
+            raise ShapeError("kernel dims must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride[0] <= 0 or self.stride[1] <= 0:
+            raise ShapeError("stride dims must be positive")
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError("AvgPool2d expects (B, C, H, W)")
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        out_h = conv_output_size(x.shape[2], kh, sh, 0)
+        out_w = conv_output_size(x.shape[3], kw, sw, 0)
+        out = np.zeros((x.shape[0], x.shape[1], out_h, out_w), dtype=x.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                out += x[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+        self._input_shape = x.shape
+        return out / (kh * kw)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("backward called before forward")
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        grad_x = np.zeros(self._input_shape, dtype=grad.dtype)
+        out_h, out_w = grad.shape[2], grad.shape[3]
+        share = grad / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                grad_x[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += share
+        self._input_shape = None
+        return grad_x

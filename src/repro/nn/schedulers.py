@@ -1,0 +1,144 @@
+"""Learning-rate schedulers and training utilities.
+
+The paper trains with a fixed Adam learning rate; these schedulers are
+used by the ablation benches and by downstream users squeezing the last
+fraction of a percent out of the extractor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.optim import Optimizer
+from repro.nn.tensor import Parameter
+
+
+class Scheduler:
+    """Adjusts an optimiser's learning rate once per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        if not hasattr(optimizer, "lr"):
+            raise ConfigError("optimizer must expose an 'lr' attribute")
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        new_lr = self._lr_at(self.epoch)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ConfigError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigError("gamma must lie in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0
+    ) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ConfigError("total_epochs must be positive")
+        if min_lr < 0:
+            raise ConfigError("min_lr must be non-negative")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class ExponentialLR(Scheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigError("gamma must lie in (0, 1]")
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns:
+        The pre-clipping global norm.
+    """
+    if max_norm <= 0:
+        raise ConfigError("max_norm must be positive")
+    total = math.sqrt(
+        sum(float(np.sum(p.grad**2)) for p in parameters)
+    )
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in parameters:
+            param.grad *= scale
+    return total
+
+
+class EarlyStopping:
+    """Stop training when a monitored value stops improving.
+
+    Args:
+        patience: epochs without improvement before stopping.
+        min_delta: improvements smaller than this do not count.
+        mode: ``"min"`` (losses) or ``"max"`` (accuracies).
+    """
+
+    def __init__(
+        self, patience: int = 5, min_delta: float = 0.0, mode: str = "min"
+    ) -> None:
+        if patience <= 0:
+            raise ConfigError("patience must be positive")
+        if min_delta < 0:
+            raise ConfigError("min_delta must be non-negative")
+        if mode not in ("min", "max"):
+            raise ConfigError("mode must be 'min' or 'max'")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: float | None = None
+        self.stale = 0
+
+    def update(self, value: float) -> bool:
+        """Record one epoch's value; returns True when training should stop."""
+        improved = (
+            self.best is None
+            or (self.mode == "min" and value < self.best - self.min_delta)
+            or (self.mode == "max" and value > self.best + self.min_delta)
+        )
+        if improved:
+            self.best = value
+            self.stale = 0
+        else:
+            self.stale += 1
+        return self.stale >= self.patience

@@ -1,0 +1,65 @@
+"""Trainable parameters and non-trainable buffers.
+
+A :class:`Parameter` is a named container pairing a value array with its
+gradient accumulator; optimisers iterate over parameters, and layers
+write ``grad`` during backward.  Buffers (e.g. batch-norm running
+statistics) are plain arrays tracked for serialization but never
+updated by optimisers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Parameter:
+    """A trainable array with a gradient slot.
+
+    Attributes:
+        data: the parameter value.
+        grad: accumulated gradient of the loss w.r.t. ``data``; reset by
+            :meth:`zero_grad`, filled during backward passes.
+        name: dotted path assigned by the owning module tree; used for
+            serialization and debugging.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the gradient slot (shape-checked)."""
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"gradient shape {grad.shape} != parameter shape "
+                f"{self.data.shape} for {self.name or 'parameter'}"
+            )
+        self.grad += grad
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-style uniform init, the PyTorch default for conv/linear layers."""
+    if fan_in <= 0:
+        raise ShapeError("fan_in must be positive")
+    bound = np.sqrt(1.0 / fan_in) * np.sqrt(3.0)
+    return rng.uniform(-bound, bound, size=shape)

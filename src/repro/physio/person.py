@@ -1,0 +1,212 @@
+"""Per-person anatomical and behavioural parameters.
+
+The paper's theoretical model (Section II-B) claims that the received
+vibration signal encodes five person-specific biomechanical quantities
+-- the mandible mass ``m``, the two asymmetric damping factors ``c1`` and
+``c2``, and the two spring constants ``k1`` and ``k2`` -- plus stable
+speaking-habit quantities (forcing amplitudes and phase intervals, vocal
+fundamental frequency).  :class:`PersonProfile` carries exactly those
+quantities, together with the anatomical coupling vectors that map the
+one-dimensional mandible motion onto the six IMU axes at the ear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.types import Gender
+
+
+def _unit(vec: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vec))
+    if norm == 0.0:
+        raise ConfigError("coupling vector must be non-zero")
+    return vec / norm
+
+
+@dataclasses.dataclass(frozen=True)
+class PersonProfile:
+    """Immutable description of one simulated user.
+
+    Biomechanical parameters follow the paper's one-DOF model:
+
+    Attributes:
+        person_id: stable identifier, e.g. ``"p07"``.
+        gender: used only by the fairness experiment.
+        mass: effective mandible mass ``m`` in kg.
+        c1: damping factor for positive-direction motion (N s / m).
+        c2: damping factor for negative-direction motion (N s / m).
+        k1: first spring constant (N / m).
+        k2: second spring constant (N / m).
+        f0_hz: natural vocal fundamental frequency for the 'EMM' sound.
+        force_pos: constant positive-direction forcing amplitude
+            ``F_P(0)`` (N).
+        force_neg: constant negative-direction forcing amplitude
+            ``F_N(0)`` (N).
+        duty_cycle: fraction of a vibration period spent in the
+            positive-direction phase (``dt1 / (dt1 + dt2)``).
+        open_quotient: glottal-pulse open quotient; a speaking-habit
+            parameter shaping the harmonic envelope of the source.
+        harmonic_tilt: spectral tilt of the voice source in dB/octave
+            (more negative = darker voice).
+        accel_coupling: unit 3-vector mapping mandible acceleration onto
+            the accelerometer axes at the ear (mounting + anatomy).
+        tissue_coupling: unit 3-vector for the weaker tissue-conducted
+            component.
+        gyro_coupling: unit 3-vector mapping mandible velocity onto the
+            gyroscope axes (small head-rotation response).
+        gyro_coupling2: unit 3-vector mapping mandible *acceleration*
+            onto the gyroscope axes; jaw rotation mixes both, and the
+            per-axis mixing ratio is a stable anatomical signature.
+        tissue_gain: relative amplitude of the tissue-conducted path.
+        gyro_gain: relative amplitude of the gyroscope response.
+        left_right_asymmetry: multiplicative asymmetry applied to the
+            coupling when the earphone is worn on the left ear.
+        ear_resonance_hz: centre frequency of the ear-coupling resonance
+            (concha/tragus tissue + earbud seal); a stable per-person
+            spectral signature that survives sensor re-orientation.
+        ear_resonance_q: quality factor of that resonance.
+        ear_resonance_gain_db: peak boost of that resonance.
+        closure_sharpness: strength of the glottal-closure transient, a
+            speaking-habit parameter controlling how hard the folds snap
+            shut (broadband excitation of the mandible's modes).
+        breathiness: aspiration-noise level of the person's voicing; the
+            broadband component that paints the resonance envelope into
+            the received spectrum.
+        mode2_hz / mode2_q / mode2_gain_db: the mandible's second
+            vibration mode (real mandibles vibrate in several modes --
+            lateral, torsional); another resonant peak in the coupling
+            response.
+        notch_hz / notch_q / notch_depth_db: an anti-resonance of the
+            jaw/ear structure; anatomies differ in notches as much as
+            in peaks.
+    """
+
+    person_id: str
+    gender: Gender
+    mass: float
+    c1: float
+    c2: float
+    k1: float
+    k2: float
+    f0_hz: float
+    force_pos: float
+    force_neg: float
+    duty_cycle: float
+    open_quotient: float
+    harmonic_tilt: float
+    accel_coupling: np.ndarray
+    tissue_coupling: np.ndarray
+    gyro_coupling: np.ndarray
+    tissue_gain: float
+    gyro_gain: float
+    left_right_asymmetry: float
+    ear_resonance_hz: float = 90.0
+    ear_resonance_q: float = 4.0
+    ear_resonance_gain_db: float = 8.0
+    closure_sharpness: float = 0.8
+    breathiness: float = 0.25
+    mode2_hz: float = 120.0
+    mode2_q: float = 5.0
+    mode2_gain_db: float = 10.0
+    notch_hz: float = 80.0
+    notch_q: float = 6.0
+    notch_depth_db: float = 12.0
+    gyro_coupling2: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.array([0.5, 0.5, 0.7])
+    )
+
+    def __post_init__(self) -> None:
+        if not 20.0 <= self.ear_resonance_hz <= 500.0:
+            raise ConfigError("ear_resonance_hz must lie in [20, 500]")
+        if self.ear_resonance_q <= 0 or self.ear_resonance_gain_db < 0:
+            raise ConfigError("ear resonance Q must be positive, gain >= 0")
+        if not 0.0 <= self.closure_sharpness <= 5.0:
+            raise ConfigError("closure_sharpness must lie in [0, 5]")
+        if not 0.0 <= self.breathiness <= 2.0:
+            raise ConfigError("breathiness must lie in [0, 2]")
+        for name in ("mode2_hz", "notch_hz"):
+            if not 20.0 <= getattr(self, name) <= 500.0:
+                raise ConfigError(f"{name} must lie in [20, 500]")
+        for name in ("mode2_q", "notch_q"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.mode2_gain_db < 0 or self.notch_depth_db < 0:
+            raise ConfigError("mode2 gain and notch depth must be >= 0")
+        if self.mass <= 0:
+            raise ConfigError("mass must be positive")
+        for name in ("c1", "c2", "k1", "k2"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if not 40.0 <= self.f0_hz <= 400.0:
+            raise ConfigError("f0_hz must lie in the human range [40, 400]")
+        if not 0.2 <= self.duty_cycle <= 0.8:
+            raise ConfigError("duty_cycle must lie in [0.2, 0.8]")
+        if not 0.3 <= self.open_quotient <= 0.9:
+            raise ConfigError("open_quotient must lie in [0.3, 0.9]")
+        # Freeze the arrays so the profile is genuinely immutable.
+        for name in (
+            "accel_coupling",
+            "tissue_coupling",
+            "gyro_coupling",
+            "gyro_coupling2",
+        ):
+            vec = np.asarray(getattr(self, name), dtype=np.float64)
+            if vec.shape != (3,):
+                raise ConfigError(f"{name} must be a 3-vector")
+            vec = _unit(vec)
+            vec.setflags(write=False)
+            object.__setattr__(self, name, vec)
+
+    @property
+    def natural_frequency_hz(self) -> float:
+        """Undamped natural frequency of the mandible oscillator."""
+        return math.sqrt((self.k1 + self.k2) / self.mass) / (2.0 * math.pi)
+
+    @property
+    def damping_ratio_pos(self) -> float:
+        """Damping ratio during positive-direction motion."""
+        return self.c1 / (2.0 * math.sqrt(self.mass * (self.k1 + self.k2)))
+
+    @property
+    def damping_ratio_neg(self) -> float:
+        """Damping ratio during negative-direction motion."""
+        return self.c2 / (2.0 * math.sqrt(self.mass * (self.k1 + self.k2)))
+
+    def biomechanical_vector(self) -> np.ndarray:
+        """The five-parameter MandiblePrint ground truth ``(m,c1,c2,k1,k2)``.
+
+        Exposed for analysis and tests; the authentication pipeline never
+        reads it (it must recover identity from signals alone).
+        """
+        return np.array([self.mass, self.c1, self.c2, self.k1, self.k2])
+
+    def with_drift(self, days: float, rng: np.random.Generator) -> "PersonProfile":
+        """Return a copy with slow physiological drift applied.
+
+        The paper's long-term experiment (Section VII-F) found VSR above
+        99.5 % after two weeks, i.e. the biometric drifts very little.
+        We model drift as a small random walk on the soft-tissue
+        parameters (damping and forcing habits); bone mass and spring
+        constants stay fixed on a two-week horizon.
+        """
+        if days < 0:
+            raise ConfigError("days must be non-negative")
+        scale = 0.004 * math.sqrt(days)
+        factor = lambda: float(np.exp(rng.normal(0.0, scale)))  # noqa: E731
+        # Habitual pitch is the most stable habit of all (the paper's own
+        # argument cites F0 stability from age seven onward), so it
+        # drifts an order of magnitude slower than soft tissue.
+        f0_factor = float(np.exp(rng.normal(0.0, 0.1 * scale)))
+        return dataclasses.replace(
+            self,
+            c1=self.c1 * factor(),
+            c2=self.c2 * factor(),
+            force_pos=self.force_pos * factor(),
+            force_neg=self.force_neg * factor(),
+            f0_hz=float(np.clip(self.f0_hz * f0_factor, 40.0, 400.0)),
+        )

@@ -1,0 +1,26 @@
+"""Security layer: cancelable templates, secure enclave, attack models.
+
+Implements Section VI of the paper: the Gaussian-matrix cancelable
+transform (:mod:`repro.security.cancelable`), a functional stand-in for
+the earphone's secure enclave (:mod:`repro.security.enclave`), and the
+four attacker models of the security assessment
+(:mod:`repro.security.attacks`).
+"""
+
+from repro.security.cancelable import CancelableTransform
+from repro.security.enclave import SecureEnclave
+from repro.security.attacks import (
+    ImpersonationAttacker,
+    ReplayAttacker,
+    VibrationAwareAttacker,
+    ZeroEffortAttacker,
+)
+
+__all__ = [
+    "CancelableTransform",
+    "ImpersonationAttacker",
+    "ReplayAttacker",
+    "SecureEnclave",
+    "VibrationAwareAttacker",
+    "ZeroEffortAttacker",
+]

@@ -1,0 +1,81 @@
+"""Gaussian-matrix cancelable templates (Section VI-B).
+
+A MandiblePrint vector ``x`` is transformed to ``x' = x @ G`` with a
+user-held Gaussian random matrix ``G``.  Two vectors transformed by the
+*same* matrix keep their cosine geometry in expectation (random
+projection), so genuine verification still works; the same vector
+transformed by two *different* matrices is near-orthogonal, so a stolen
+template becomes useless the moment the user re-draws ``G``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+
+class CancelableTransform:
+    """A revocable random projection.
+
+    Args:
+        input_dim: MandiblePrint dimensionality (512 by default).
+        output_dim: projected dimensionality; the paper keeps it equal
+            to the input dimension.
+        seed: draw of the Gaussian matrix.  Re-drawing with a new seed
+            *is* the revocation operation.
+    """
+
+    def __init__(
+        self,
+        input_dim: int = 512,
+        output_dim: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if input_dim <= 0:
+            raise ConfigError("input_dim must be positive")
+        output_dim = input_dim if output_dim is None else output_dim
+        if output_dim <= 0:
+            raise ConfigError("output_dim must be positive")
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        self.seed = seed if seed is not None else int(np.random.SeedSequence().entropy % (2**31))
+        rng = np.random.default_rng(self.seed)
+        # 1/sqrt(d) scaling keeps expected norms stable under projection.
+        self._matrix = rng.normal(
+            0.0, 1.0 / np.sqrt(input_dim), size=(input_dim, output_dim)
+        )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The Gaussian matrix (read-only view)."""
+        view = self._matrix.view()
+        view.setflags(write=False)
+        return view
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Transform one MandiblePrint (or a batch along axis 0)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape[-1] != self.input_dim:
+            raise ShapeError(
+                f"expected last dim {self.input_dim}, got {vector.shape}"
+            )
+        return vector @ self._matrix
+
+    def renew(self) -> "CancelableTransform":
+        """Revocation: a fresh transform with an independent matrix."""
+        return CancelableTransform(
+            self.input_dim, self.output_dim, seed=self.seed + 104729
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CancelableTransform):
+            return NotImplemented
+        return (
+            self.input_dim == other.input_dim
+            and self.output_dim == other.output_dim
+            and self.seed == other.seed
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.input_dim, self.output_dim, self.seed))

@@ -1,0 +1,140 @@
+"""Configuration validation tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    DecisionConfig,
+    ExtractorConfig,
+    MandiPassConfig,
+    PreprocessConfig,
+    SamplingConfig,
+    SecurityConfig,
+    TrainingConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestSamplingConfig:
+    def test_defaults_match_paper(self):
+        cfg = SamplingConfig()
+        assert cfg.rate_hz == 350
+        assert cfg.num_samples == 210
+
+    def test_oversample_is_integer_ratio(self):
+        cfg = SamplingConfig(rate_hz=350, internal_rate_hz=2800)
+        assert cfg.oversample == 8
+
+    def test_rejects_non_multiple_internal_rate(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(rate_hz=350, internal_rate_hz=1000)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(duration_s=-1.0)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(rate_hz=0)
+
+
+class TestPreprocessConfig:
+    def test_defaults_match_paper(self):
+        cfg = PreprocessConfig()
+        assert cfg.segment_length == 60
+        assert cfg.onset_window == 10
+        assert cfg.onset_std_start == 250.0
+        assert cfg.onset_std_sustain == 100.0
+        assert cfg.highpass_cutoff_hz == 20.0
+        assert cfg.highpass_order == 4
+
+    def test_rejects_cutoff_above_nyquist(self):
+        with pytest.raises(ConfigError):
+            PreprocessConfig(highpass_cutoff_hz=200.0, sample_rate_hz=350)
+
+    def test_rejects_odd_order(self):
+        with pytest.raises(ConfigError):
+            PreprocessConfig(highpass_order=3)
+
+    def test_rejects_tiny_segment(self):
+        with pytest.raises(ConfigError):
+            PreprocessConfig(segment_length=1)
+
+
+class TestExtractorConfig:
+    def test_defaults(self):
+        cfg = ExtractorConfig()
+        assert cfg.embedding_dim == 512
+        assert cfg.frontend == "spectral"
+        assert cfg.input_width == 31
+
+    def test_expected_width_spectral(self):
+        assert ExtractorConfig().expected_input_width(60) == 31
+
+    def test_expected_width_gradient(self):
+        cfg = ExtractorConfig(frontend="gradient", input_width=30)
+        assert cfg.expected_input_width(60) == 30
+
+    def test_rejects_unknown_frontend(self):
+        with pytest.raises(ConfigError):
+            ExtractorConfig(frontend="wavelet")
+
+    def test_rejects_wrong_conv_count(self):
+        with pytest.raises(ConfigError):
+            ExtractorConfig(channels=(8, 16))
+
+    def test_rejects_nonpositive_embedding(self):
+        with pytest.raises(ConfigError):
+            ExtractorConfig(embedding_dim=0)
+
+
+class TestTrainingConfig:
+    def test_rejects_zero_epochs(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(epochs=0)
+
+    def test_rejects_negative_lr(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(learning_rate=-1e-3)
+
+
+class TestDecisionConfig:
+    def test_threshold_in_cosine_range(self):
+        with pytest.raises(ConfigError):
+            DecisionConfig(threshold=2.5)
+        with pytest.raises(ConfigError):
+            DecisionConfig(threshold=0.0)
+
+
+class TestMandiPassConfig:
+    def test_default_is_consistent(self):
+        assert DEFAULT_CONFIG.extractor.input_width == 31
+
+    def test_rejects_mismatched_rates(self):
+        with pytest.raises(ConfigError):
+            MandiPassConfig(sampling=SamplingConfig(rate_hz=700, internal_rate_hz=2800))
+
+    def test_rejects_mismatched_width(self):
+        with pytest.raises(ConfigError):
+            MandiPassConfig(extractor=ExtractorConfig(input_width=30))
+
+    def test_gradient_frontend_width_accepted(self):
+        cfg = MandiPassConfig(
+            extractor=ExtractorConfig(frontend="gradient", input_width=30)
+        )
+        assert cfg.extractor.frontend == "gradient"
+
+    def test_rejects_mismatched_template_dim(self):
+        with pytest.raises(ConfigError):
+            MandiPassConfig(security=SecurityConfig(template_dim=128))
+
+    def test_replace_returns_new_config(self):
+        new = DEFAULT_CONFIG.replace(decision=DecisionConfig(threshold=0.3))
+        assert new.decision.threshold == 0.3
+        assert DEFAULT_CONFIG.decision.threshold != 0.3
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONFIG.decision = DecisionConfig(threshold=0.3)

@@ -1,0 +1,115 @@
+"""Butterworth design and filtering tests, cross-validated against scipy."""
+
+import numpy as np
+import pytest
+from scipy import signal as scipy_signal
+
+from repro.dsp.filters import (
+    butterworth_prototype_poles,
+    design_highpass,
+    design_lowpass,
+    frequency_response,
+    highpass,
+    sosfilt,
+)
+from repro.errors import ConfigError, ShapeError
+
+FS = 350.0
+
+
+class TestPrototype:
+    def test_poles_on_unit_circle(self):
+        poles = butterworth_prototype_poles(4)
+        np.testing.assert_allclose(np.abs(poles), 1.0)
+
+    def test_poles_in_left_half_plane(self):
+        poles = butterworth_prototype_poles(6)
+        assert np.all(poles.real < 0.0)
+
+    def test_poles_conjugate_symmetric(self):
+        poles = butterworth_prototype_poles(4)
+        for pole in poles:
+            assert np.min(np.abs(poles - np.conj(pole))) < 1e-12
+
+    def test_rejects_nonpositive_order(self):
+        with pytest.raises(ConfigError):
+            butterworth_prototype_poles(0)
+
+
+class TestDesignVsScipy:
+    @pytest.mark.parametrize("order", [2, 4, 6, 8])
+    def test_highpass_magnitude_matches_scipy(self, order):
+        sos = design_highpass(order, 20.0, FS)
+        sos_ref = scipy_signal.butter(order, 20.0, "highpass", fs=FS, output="sos")
+        freqs = np.linspace(1.0, FS / 2 - 1, 400)
+        ours = np.abs(frequency_response(sos, freqs, FS))
+        w = 2 * np.pi * freqs / FS
+        _, ref = scipy_signal.sosfreqz(sos_ref, worN=w)
+        np.testing.assert_allclose(ours, np.abs(ref), atol=1e-10)
+
+    @pytest.mark.parametrize("order", [2, 4, 8])
+    def test_lowpass_magnitude_matches_scipy(self, order):
+        sos = design_lowpass(order, 50.0, FS)
+        sos_ref = scipy_signal.butter(order, 50.0, "lowpass", fs=FS, output="sos")
+        freqs = np.linspace(1.0, FS / 2 - 1, 400)
+        ours = np.abs(frequency_response(sos, freqs, FS))
+        w = 2 * np.pi * freqs / FS
+        _, ref = scipy_signal.sosfreqz(sos_ref, worN=w)
+        np.testing.assert_allclose(ours, np.abs(ref), atol=1e-10)
+
+    def test_halfpower_at_cutoff(self):
+        sos = design_highpass(4, 20.0, FS)
+        mag = np.abs(frequency_response(sos, np.array([20.0]), FS))[0]
+        assert mag == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-6)
+
+    def test_rejects_odd_order(self):
+        with pytest.raises(ConfigError):
+            design_highpass(3, 20.0, FS)
+
+    def test_rejects_cutoff_beyond_nyquist(self):
+        with pytest.raises(ConfigError):
+            design_highpass(4, 200.0, FS)
+
+
+class TestSosfilt:
+    def test_matches_scipy_filtering(self, rng):
+        sos = design_highpass(4, 20.0, FS)
+        x = rng.normal(size=300)
+        ours = sosfilt(sos, x)
+        ref = scipy_signal.sosfilt(sos, x)
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    def test_batched_equals_loop(self, rng):
+        sos = design_highpass(4, 20.0, FS)
+        x = rng.normal(size=(6, 100))
+        batched = sosfilt(sos, x)
+        for axis in range(6):
+            np.testing.assert_allclose(batched[axis], sosfilt(sos, x[axis]))
+
+    def test_highpass_kills_dc(self):
+        out = highpass(np.full(400, 123.0), 20.0, FS)
+        assert np.abs(out[-50:]).max() < 1.0
+
+    def test_highpass_preserves_inband_tone(self):
+        t = np.arange(1400) / FS
+        tone = np.sin(2 * np.pi * 100.0 * t)
+        out = highpass(tone, 20.0, FS)
+        # Steady-state amplitude preserved within 5 %.
+        assert np.abs(out[700:]).max() == pytest.approx(1.0, rel=0.05)
+
+    def test_highpass_attenuates_body_motion_band(self):
+        t = np.arange(1400) / FS
+        sway = np.sin(2 * np.pi * 3.0 * t)
+        out = highpass(sway, 20.0, FS)
+        assert np.abs(out[700:]).max() < 0.05
+
+    def test_rejects_bad_sos_shape(self):
+        with pytest.raises(ShapeError):
+            sosfilt(np.zeros((2, 5)), np.zeros(10))
+
+    def test_input_not_mutated(self, rng):
+        sos = design_highpass(2, 20.0, FS)
+        x = rng.normal(size=50)
+        original = x.copy()
+        sosfilt(sos, x)
+        np.testing.assert_array_equal(x, original)

@@ -1,0 +1,107 @@
+"""MAD outlier detection and replacement tests (Section IV, Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.outliers import mad, mad_outlier_mask, replace_outliers
+from repro.errors import ConfigError, ShapeError
+
+
+class TestMAD:
+    def test_known_value(self):
+        assert mad(np.array([1.0, 2.0, 3.0, 4.0, 5.0])) == 1.0
+
+    def test_constant_is_zero(self):
+        assert mad(np.full(10, 3.0)) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            mad(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            mad(np.zeros((3, 3)))
+
+
+class TestOutlierMask:
+    def test_detects_planted_spikes(self, rng):
+        signal = rng.normal(0.0, 10.0, size=200)
+        signal[[20, 77, 140]] += 500.0
+        mask = mad_outlier_mask(signal)
+        assert mask[20] and mask[77] and mask[140]
+        assert mask.sum() <= 10
+
+    def test_clean_gaussian_mostly_unflagged(self, rng):
+        signal = rng.normal(0.0, 1.0, size=1000)
+        assert mad_outlier_mask(signal).mean() < 0.01
+
+    def test_constant_signal_flags_nothing(self):
+        assert not mad_outlier_mask(np.full(50, 2.0)).any()
+
+    def test_zero_mad_flags_deviants(self):
+        signal = np.full(50, 2.0)
+        signal[7] = 100.0
+        mask = mad_outlier_mask(signal)
+        assert mask[7]
+        assert mask.sum() == 1
+
+    def test_empty_input(self):
+        assert mad_outlier_mask(np.array([])).shape == (0,)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            mad_outlier_mask(np.zeros(5), threshold=0.0)
+
+
+class TestReplacement:
+    def test_spike_replaced_with_neighbor_mean(self):
+        signal = np.array([1.0, 2.0, 3.0, 500.0, 5.0, 6.0, 7.0])
+        out = replace_outliers(signal)
+        # Mean of two previous (2, 3) and two subsequent (5, 6) normals.
+        assert out[3] == pytest.approx((2 + 3 + 5 + 6) / 4)
+
+    def test_clean_signal_untouched(self, rng):
+        signal = rng.normal(0.0, 1.0, size=100)
+        mask = np.zeros(100, dtype=bool)
+        out = replace_outliers(signal, mask=mask)
+        np.testing.assert_array_equal(out, signal)
+
+    def test_consecutive_outliers_use_nearest_normals(self):
+        signal = np.array([1.0, 2.0, 900.0, 950.0, 5.0, 6.0])
+        mask = np.array([False, False, True, True, False, False])
+        out = replace_outliers(signal, mask=mask)
+        assert out[2] == pytest.approx((1 + 2 + 5 + 6) / 4)
+        assert out[3] == pytest.approx((1 + 2 + 5 + 6) / 4)
+
+    def test_edge_outlier_uses_one_side(self):
+        signal = np.array([900.0, 2.0, 3.0, 4.0, 5.0])
+        mask = np.array([True, False, False, False, False])
+        out = replace_outliers(signal, mask=mask)
+        assert out[0] == pytest.approx((2 + 3) / 2)
+
+    def test_all_outliers_returned_unchanged(self):
+        signal = np.array([5.0, 6.0, 7.0])
+        mask = np.ones(3, dtype=bool)
+        np.testing.assert_array_equal(replace_outliers(signal, mask=mask), signal)
+
+    def test_input_not_mutated(self):
+        signal = np.array([1.0, 2.0, 3.0, 500.0, 5.0, 6.0, 7.0])
+        original = signal.copy()
+        replace_outliers(signal)
+        np.testing.assert_array_equal(signal, original)
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            replace_outliers(np.zeros(5), mask=np.zeros(4, dtype=bool))
+
+    def test_rejects_bad_neighbors(self):
+        with pytest.raises(ConfigError):
+            replace_outliers(np.zeros(5), neighbors=0)
+
+    def test_restores_clean_statistics(self, rng):
+        """After replacement, the spiked signal's std is near the clean one."""
+        clean = rng.normal(0.0, 10.0, size=500)
+        spiked = clean.copy()
+        spiked[rng.choice(500, 10, replace=False)] += 800.0
+        restored = replace_outliers(spiked)
+        assert abs(restored.std() - clean.std()) < 0.1 * clean.std()

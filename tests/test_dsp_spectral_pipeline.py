@@ -1,0 +1,121 @@
+"""Spectral helpers and the full preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import PreprocessConfig
+from repro.dsp.pipeline import Preprocessor
+from repro.dsp.spectral import (
+    band_energy,
+    band_energy_ratio,
+    dominant_frequency,
+    hann_window,
+    periodogram,
+    spectral_centroid,
+)
+from repro.errors import ConfigError, OnsetNotFoundError, ShapeError
+
+FS = 350.0
+
+
+class TestSpectral:
+    def test_hann_endpoints(self):
+        win = hann_window(64)
+        assert win[0] == pytest.approx(0.0)
+        assert win.max() <= 1.0
+
+    def test_periodogram_parseval(self, rng):
+        """Total PSD mass times bin width ~ signal variance."""
+        x = rng.normal(0.0, 2.0, size=4096)
+        freqs, psd = periodogram(x, FS, window=False)
+        df = freqs[1] - freqs[0]
+        assert np.sum(psd) * df == pytest.approx(np.var(x) + np.mean(x) ** 2, rel=0.05)
+
+    def test_dominant_frequency_of_tone(self):
+        t = np.arange(2048) / FS
+        tone = np.sin(2 * np.pi * 60.0 * t)
+        assert dominant_frequency(tone, FS) == pytest.approx(60.0, abs=1.0)
+
+    def test_band_energy_concentrated_at_tone(self):
+        t = np.arange(2048) / FS
+        tone = np.sin(2 * np.pi * 60.0 * t)
+        inside = band_energy(tone, FS, 55.0, 65.0)
+        outside = band_energy(tone, FS, 100.0, 170.0)
+        assert inside > 100 * outside
+
+    def test_band_energy_ratio_low_tone(self):
+        t = np.arange(2048) / FS
+        assert band_energy_ratio(np.sin(2 * np.pi * 5.0 * t), FS, 20.0) > 0.95
+
+    def test_spectral_centroid_between_tones(self):
+        t = np.arange(4096) / FS
+        x = np.sin(2 * np.pi * 40.0 * t) + np.sin(2 * np.pi * 120.0 * t)
+        centroid = spectral_centroid(x, FS)
+        assert 60.0 < centroid < 100.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            periodogram(np.array([]), FS)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            periodogram(np.zeros(16), -1.0)
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(ConfigError):
+            band_energy(np.zeros(16), FS, 50.0, 40.0)
+
+
+class TestPreprocessor:
+    def test_output_shape_and_range(self, recording):
+        out = Preprocessor().process(recording)
+        assert out.shape == (6, 60)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_silence_rejected(self):
+        with pytest.raises(OnsetNotFoundError):
+            Preprocessor().process(np.zeros((210, 6)))
+
+    def test_debug_stages_coherent(self, recording):
+        debug = Preprocessor().process_debug(recording)
+        assert debug.raw_segments.shape == (6, 60)
+        assert debug.despiked.shape == (6, 60)
+        assert debug.filtered.shape == (6, 60)
+        np.testing.assert_array_equal(debug.normalized, Preprocessor().process(recording))
+
+    def test_highpass_removes_gravity_offset(self, recording):
+        debug = Preprocessor().process_debug(recording)
+        raw_mean = np.abs(debug.raw_segments.mean(axis=1)).max()
+        # Steady-state mean of the filtered tail should be far below the
+        # gravity-loaded raw offset.
+        filtered_mean = np.abs(debug.filtered[:, 30:].mean(axis=1)).max()
+        assert filtered_mean < 0.05 * raw_mean
+
+    def test_deterministic(self, recording):
+        a = Preprocessor().process(recording)
+        b = Preprocessor().process(recording)
+        np.testing.assert_array_equal(a, b)
+
+    def test_custom_segment_length(self, recording):
+        cfg = PreprocessConfig(segment_length=40)
+        assert Preprocessor(cfg).process(recording).shape == (6, 40)
+
+    def test_batch_drops_undetectable(self, recording):
+        batch = np.stack([recording, np.zeros_like(recording)])
+        out = Preprocessor().process_batch(batch)
+        assert out.shape == (1, 6, 60)
+
+    def test_batch_all_silent_returns_empty(self):
+        out = Preprocessor().process_batch(np.zeros((2, 210, 6)))
+        assert out.shape == (0, 6, 60)
+
+    def test_despiking_changes_spiked_recording(self, recording, rng):
+        spiked = recording.copy()
+        debug_clean = Preprocessor().process_debug(recording)
+        onset = debug_clean.onset
+        spiked[onset + 30 : onset + 33, 2] += 20000.0
+        debug = Preprocessor().process_debug(spiked)
+        # The spikes were replaced somewhere in the az segment.
+        assert np.any(debug.raw_segments[2] != debug.despiked[2])
+        # And the despiked segment no longer contains the huge values.
+        assert np.abs(debug.despiked[2]).max() < np.abs(debug.raw_segments[2]).max()

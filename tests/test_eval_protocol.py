@@ -1,0 +1,66 @@
+"""Embedding protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.errors import ShapeError
+from repro.eval.protocol import run_embedding_protocol, run_leave_one_out_protocol
+from repro.security.cancelable import CancelableTransform
+
+
+class TestEmbeddingProtocol:
+    def test_result_fields(self, hired_dataset, user_dataset, trained_model):
+        result = run_embedding_protocol(
+            hired_dataset, user_dataset, model=trained_model
+        )
+        assert result.embeddings.shape[0] == len(user_dataset)
+        assert result.genuine.size > 0 and result.impostor.size > 0
+        assert 0.0 <= result.eer.eer <= 0.5
+        assert result.mean_genuine_distance < result.mean_impostor_distance
+
+    def test_reusing_model_skips_training(self, hired_dataset, user_dataset, trained_model):
+        a = run_embedding_protocol(hired_dataset, user_dataset, model=trained_model)
+        b = run_embedding_protocol(hired_dataset, user_dataset, model=trained_model)
+        np.testing.assert_array_equal(a.embeddings, b.embeddings)
+
+    def test_transform_preserves_eer_roughly(
+        self, hired_dataset, user_dataset, trained_model
+    ):
+        """Projecting everyone with one Gaussian matrix (genuine use of
+        Section VI) must not break verification."""
+        plain = run_embedding_protocol(hired_dataset, user_dataset, model=trained_model)
+        transform = CancelableTransform(
+            trained_model.config.embedding_dim, seed=0
+        )
+        projected = run_embedding_protocol(
+            hired_dataset, user_dataset, model=trained_model, transform=transform
+        )
+        assert projected.eer.eer == pytest.approx(plain.eer.eer, abs=0.05)
+
+    def test_empty_eval_raises(self, hired_dataset, user_dataset, trained_model):
+        import dataclasses
+
+        empty = dataclasses.replace(
+            user_dataset,
+            signal_arrays=user_dataset.signal_arrays[:0],
+            features=user_dataset.features[:0],
+            labels=user_dataset.labels[:0],
+            trial_ids=user_dataset.trial_ids[:0],
+        )
+        with pytest.raises(ShapeError):
+            run_embedding_protocol(hired_dataset, empty, model=trained_model)
+
+
+class TestLeaveOneOutProtocol:
+    def test_restricted_people(self, user_dataset, small_extractor_config):
+        result = run_leave_one_out_protocol(
+            user_dataset,
+            extractor_config=small_extractor_config,
+            training_config=TrainingConfig(epochs=2, batch_size=64),
+            people=[0, 1],
+        )
+        assert set(result.labels.tolist()) == {0, 1}
+        assert result.embeddings.shape[0] == int(
+            np.sum(np.isin(user_dataset.labels, [0, 1]))
+        )

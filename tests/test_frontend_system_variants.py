@@ -1,0 +1,78 @@
+"""System-level tests with the paper's gradient front end.
+
+The default deployment uses the spectral front end; these tests pin the
+behaviour of the paper-exact variant end to end (configuration plumbing,
+enrollment, verification), without claiming its EER matches.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MandiPass, Recorder, TrainingConfig, train_extractor
+from repro.config import ExtractorConfig, MandiPassConfig, SecurityConfig
+from repro.datasets import DatasetSpec, generate_dataset
+from repro.physio import sample_population
+
+
+@pytest.fixture(scope="module")
+def gradient_system():
+    """A MandiPass device wired with the paper's gradient front end."""
+    spec = DatasetSpec(
+        num_people=8,
+        num_female=2,
+        trials_per_person=10,
+        population_seed=100,
+        recorder_seed=1,
+        segment_offsets=(-4, 0, 4),
+        frontend="gradient",
+    )
+    corpus = generate_dataset(spec)
+    extractor_config = ExtractorConfig(
+        embedding_dim=32, channels=(2, 4, 8), frontend="gradient", input_width=30
+    )
+    model, history = train_extractor(
+        corpus.features,
+        corpus.labels,
+        extractor_config=extractor_config,
+        training_config=TrainingConfig(epochs=8, batch_size=64),
+    )
+    config = MandiPassConfig(
+        extractor=extractor_config,
+        security=SecurityConfig(template_dim=32, projected_dim=32, matrix_seed=5),
+    )
+    return MandiPass(model, config=config), history
+
+
+class TestGradientFrontEndSystem:
+    def test_training_learns_something(self, gradient_system):
+        _, history = gradient_system
+        assert history.final_accuracy > 0.6
+
+    def test_enroll_verify_round_trip(self, gradient_system):
+        device, _ = gradient_system
+        person = sample_population(6, 1, seed=0)[2]
+        recorder = Recorder(seed=41)
+        used = device.enroll(
+            "gx", [recorder.record(person, trial_index=i) for i in range(5)]
+        )
+        assert used >= 3
+        result = device.verify("gx", recorder.record(person, trial_index=42))
+        # The gradient front end is weaker on this substrate (see
+        # DESIGN.md 4b(1)); genuine distances must still sit clearly
+        # below the impostor plateau (~1.0).
+        assert result.distance < 0.8
+
+    def test_feature_width_consistency(self, gradient_system):
+        device, _ = gradient_system
+        assert device.frontend.width(60) == 30
+        assert device.model.config.input_width == 30
+
+    def test_silent_probe_still_rejected(self, gradient_system):
+        device, _ = gradient_system
+        person = sample_population(6, 1, seed=0)[2]
+        recorder = Recorder(seed=41)
+        device.enroll(
+            "gy", [recorder.record(person, trial_index=i) for i in range(4)]
+        )
+        result = device.verify("gy", np.zeros((210, 6)))
+        assert not result.accepted

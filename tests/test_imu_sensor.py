@@ -1,0 +1,120 @@
+"""IMU sensor and recorder tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import SamplingConfig
+from repro.errors import ConfigError
+from repro.imu import IDEAL_IMU, MPU9250, Recorder
+from repro.imu.sensor import IMUSensor
+from repro.physio.conditions import NOMINAL, RecordingCondition
+from repro.physio.propagation import BodyLocation
+from repro.types import Activity, EarSide
+
+
+class TestCaptureBatch:
+    def test_shapes(self, population, rng):
+        sensor = IMUSensor(MPU9250)
+        out = sensor.capture_batch(population[0], NOMINAL, 3, rng)
+        assert out.shape == (3, 210, 6)
+
+    def test_counts_within_word_range(self, population, rng):
+        sensor = IMUSensor(MPU9250)
+        out = sensor.capture_batch(population[1], NOMINAL, 5, rng)
+        assert out.max() <= 32767.0
+        assert out.min() >= -32768.0
+
+    def test_quantized_to_integers(self, population, rng):
+        sensor = IMUSensor(MPU9250)
+        out = sensor.capture_batch(population[0], NOMINAL, 1, rng)
+        np.testing.assert_array_equal(out, np.rint(out))
+
+    def test_gravity_offset_present(self, population, rng):
+        """Accelerometer axes carry distinct static offsets (Fig. 5b)."""
+        sensor = IMUSensor(IDEAL_IMU)
+        out = sensor.capture_batch(population[0], NOMINAL, 1, rng)[0]
+        means = out[:30, :3].mean(axis=0)
+        norm = np.linalg.norm(means)
+        assert norm == pytest.approx(IDEAL_IMU.gravity_counts, rel=0.05)
+        assert len(np.unique(np.round(means))) == 3
+
+    def test_silent_leadin_then_vibration(self, population, rng):
+        sensor = IMUSensor(MPU9250)
+        out = sensor.capture_batch(population[1], NOMINAL, 1, rng)[0]
+        silent = out[:30, :3].std(axis=0).max()
+        voiced = out[120:, :3].std(axis=0).max()
+        assert voiced > 10 * silent
+
+    def test_walk_adds_low_frequency_motion(self, population):
+        quiet = IMUSensor(IDEAL_IMU).capture_batch(
+            population[0], NOMINAL, 1, np.random.default_rng(3)
+        )[0]
+        moving = IMUSensor(IDEAL_IMU).capture_batch(
+            population[0],
+            RecordingCondition(activity=Activity.WALK),
+            1,
+            np.random.default_rng(3),
+        )[0]
+        assert moving[:, 2].std() > quiet[:, 2].std()
+
+    def test_rejects_zero_trials(self, population, rng):
+        with pytest.raises(ConfigError):
+            IMUSensor(MPU9250).capture_batch(population[0], NOMINAL, 0, rng)
+
+    def test_rejects_bad_amplitude_scale(self):
+        with pytest.raises(ConfigError):
+            IMUSensor(MPU9250, amplitude_scale=-1.0)
+
+
+class TestLocationCapture:
+    def test_fig1_ordering(self, population, recorder):
+        """Vibration strength decays throat > mandible > ear (Fig. 1)."""
+        person = population[1]
+        stds = {}
+        for loc in BodyLocation:
+            sig = recorder.record_at_location(person, loc)
+            stds[loc] = float(sig[:, :3].std(axis=0).max())
+        assert stds[BodyLocation.THROAT] > stds[BodyLocation.MANDIBLE]
+        assert stds[BodyLocation.MANDIBLE] > stds[BodyLocation.EAR]
+
+
+class TestRecorder:
+    def test_deterministic_per_trial_index(self, population):
+        rec = Recorder(seed=9)
+        a = rec.record(population[0], trial_index=4)
+        b = rec.record(population[0], trial_index=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_trials_differ(self, population):
+        rec = Recorder(seed=9)
+        a = rec.record(population[0], trial_index=0)
+        b = rec.record(population[0], trial_index=1)
+        assert not np.array_equal(a, b)
+
+    def test_different_people_differ(self, population):
+        rec = Recorder(seed=9)
+        a = rec.record(population[0], trial_index=0)
+        b = rec.record(population[1], trial_index=0)
+        assert not np.array_equal(a, b)
+
+    def test_session_shape(self, population):
+        rec = Recorder(seed=9)
+        session = rec.record_session(population[0], 4)
+        assert session.shape == (4, 210, 6)
+
+    def test_session_rejects_zero_trials(self, population):
+        with pytest.raises(ConfigError):
+            Recorder(seed=9).record_session(population[0], 0)
+
+    def test_custom_sampling_config(self, population):
+        rec = Recorder(seed=0, sampling=SamplingConfig(duration_s=0.4))
+        out = rec.record(population[0])
+        assert out.shape == (140, 6)
+
+    def test_left_ear_condition_changes_signal(self, population):
+        rec = Recorder(seed=9)
+        right = rec.record(population[1], trial_index=0)
+        left = rec.record(
+            population[1], RecordingCondition(ear_side=EarSide.LEFT), trial_index=0
+        )
+        assert not np.array_equal(right, left)

@@ -1,0 +1,172 @@
+"""Classical classifier tests (the Fig. 7(b)/10(a) baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError, ShapeError
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNBClassifier,
+    KNNClassifier,
+    LinearSVMClassifier,
+    MLPClassifier,
+    accuracy,
+    train_test_split,
+)
+
+
+def _blobs(rng, n_per_class=40, spread=0.5):
+    """Three well-separated Gaussian blobs in 4-D."""
+    centers = np.array(
+        [[0, 0, 0, 0], [5, 5, 0, 0], [0, 5, 5, 5]], dtype=float
+    )
+    xs, ys = [], []
+    for label, center in enumerate(centers):
+        xs.append(rng.normal(center, spread, size=(n_per_class, 4)))
+        ys.append(np.full(n_per_class, label))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+ALL_CLASSIFIERS = [
+    KNNClassifier,
+    GaussianNBClassifier,
+    DecisionTreeClassifier,
+    LinearSVMClassifier,
+    lambda: MLPClassifier(epochs=30),
+]
+
+
+class TestAllClassifiers:
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_separable_blobs_high_accuracy(self, factory, rng):
+        inputs, labels = _blobs(rng)
+        clf = factory().fit(inputs, labels)
+        assert clf.score(inputs, labels) > 0.95
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_predict_before_fit_raises(self, factory, rng):
+        with pytest.raises(NotFittedError):
+            factory().predict(rng.normal(size=(3, 4)))
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_generalises_to_heldout(self, factory, rng):
+        inputs, labels = _blobs(rng, n_per_class=60)
+        xtr, xte, ytr, yte = train_test_split(inputs, labels, 0.25, seed=1)
+        clf = factory().fit(xtr, ytr)
+        assert clf.score(xte, yte) > 0.9
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_rejects_1d_input(self, factory):
+        with pytest.raises(ShapeError):
+            factory().fit(np.zeros(10), np.zeros(10))
+
+
+class TestKNN:
+    def test_k1_memorises(self, rng):
+        inputs, labels = _blobs(rng)
+        clf = KNNClassifier(k=1).fit(inputs, labels)
+        assert clf.score(inputs, labels) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigError):
+            KNNClassifier(k=0)
+
+    def test_scaling_invariance(self, rng):
+        """Internal standardisation makes huge-scale features harmless."""
+        inputs, labels = _blobs(rng)
+        scaled = inputs.copy()
+        scaled[:, 0] *= 1e6
+        acc_plain = KNNClassifier(k=3).fit(inputs, labels).score(inputs, labels)
+        acc_scaled = KNNClassifier(k=3).fit(scaled, labels).score(scaled, labels)
+        assert abs(acc_plain - acc_scaled) < 0.05
+
+
+class TestNaiveBayes:
+    def test_log_proba_shape(self, rng):
+        inputs, labels = _blobs(rng)
+        clf = GaussianNBClassifier().fit(inputs, labels)
+        assert clf.predict_log_proba(inputs[:5]).shape == (5, 3)
+
+    def test_priors_reflect_imbalance(self, rng):
+        inputs = rng.normal(size=(100, 2))
+        labels = np.array([0] * 90 + [1] * 10)
+        clf = GaussianNBClassifier().fit(inputs, labels)
+        # With identical likelihoods, the majority class wins.
+        preds = clf.predict(rng.normal(size=(50, 2)))
+        assert np.mean(preds == 0) > 0.8
+
+    def test_constant_feature_does_not_crash(self, rng):
+        inputs, labels = _blobs(rng)
+        inputs[:, 3] = 1.0
+        clf = GaussianNBClassifier().fit(inputs, labels)
+        assert np.isfinite(clf.predict_log_proba(inputs[:2])).all()
+
+
+class TestDecisionTree:
+    def test_depth_limit_respected(self, rng):
+        inputs, labels = _blobs(rng)
+        clf = DecisionTreeClassifier(max_depth=2).fit(inputs, labels)
+        assert clf.depth() <= 2
+
+    def test_pure_node_stops_splitting(self):
+        inputs = np.array([[0.0], [1.0], [2.0]])
+        labels = np.array([1, 1, 1])
+        clf = DecisionTreeClassifier().fit(inputs, labels)
+        assert clf.depth() == 0
+
+    def test_xor_needs_depth_two(self, rng):
+        inputs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        inputs = np.repeat(inputs, 10, axis=0) + rng.normal(0, 0.05, (40, 2))
+        labels = np.repeat([0, 1, 1, 0], 10)
+        clf = DecisionTreeClassifier(max_depth=4).fit(inputs, labels)
+        assert clf.score(inputs, labels) > 0.95
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+
+class TestSVM:
+    def test_decision_function_shape(self, rng):
+        inputs, labels = _blobs(rng)
+        clf = LinearSVMClassifier(epochs=10).fit(inputs, labels)
+        assert clf.decision_function(inputs[:7]).shape == (7, 3)
+
+    def test_margin_sign_separates_binary(self, rng):
+        inputs = np.concatenate(
+            [rng.normal(-3, 0.5, (50, 2)), rng.normal(3, 0.5, (50, 2))]
+        )
+        labels = np.array([0] * 50 + [1] * 50)
+        clf = LinearSVMClassifier(epochs=20).fit(inputs, labels)
+        assert clf.score(inputs, labels) > 0.98
+
+    def test_rejects_bad_regularization(self):
+        with pytest.raises(ConfigError):
+            LinearSVMClassifier(regularization=0.0)
+
+
+class TestHelpers:
+    def test_accuracy_basic(self):
+        assert accuracy(np.array([1, 1, 0]), np.array([1, 0, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_split_is_stratified(self, rng):
+        inputs, labels = _blobs(rng, n_per_class=50)
+        _, _, ytr, yte = train_test_split(inputs, labels, 0.2, seed=0)
+        for cls in range(3):
+            assert np.sum(yte == cls) == 10
+
+    def test_split_disjoint_and_complete(self, rng):
+        inputs, labels = _blobs(rng, n_per_class=20)
+        xtr, xte, ytr, yte = train_test_split(inputs, labels, 0.2, seed=0)
+        assert len(xtr) + len(xte) == len(inputs)
+
+    def test_split_rejects_bad_fraction(self, rng):
+        inputs, labels = _blobs(rng)
+        with pytest.raises(ShapeError):
+            train_test_split(inputs, labels, 1.5)

@@ -1,0 +1,215 @@
+"""Tests for random forest, logistic regression, evaluation helpers,
+score normalisation and extended curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.eval import (
+    TNorm,
+    ZNorm,
+    bootstrap_eer_ci,
+    det_curve,
+    normalized_pair_distances,
+    roc_auc,
+    subject_bootstrap_eer_ci,
+)
+from repro.eval.metrics import equal_error_rate
+from repro.ml import (
+    LogisticRegressionClassifier,
+    RandomForestClassifier,
+    confusion_matrix,
+    cross_validate,
+    macro_f1,
+    precision_recall_f1,
+    stratified_k_fold,
+)
+
+
+def _blobs(rng, n_per_class=40, spread=0.5):
+    centers = np.array([[0, 0, 0, 0], [5, 5, 0, 0], [0, 5, 5, 5]], dtype=float)
+    xs, ys = [], []
+    for label, center in enumerate(centers):
+        xs.append(rng.normal(center, spread, size=(n_per_class, 4)))
+        ys.append(np.full(n_per_class, label))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestNewClassifiers:
+    def test_forest_fits_blobs(self, rng):
+        inputs, labels = _blobs(rng)
+        clf = RandomForestClassifier(num_trees=15).fit(inputs, labels)
+        assert clf.score(inputs, labels) > 0.95
+
+    def test_forest_beats_single_shallow_tree_on_noisy_data(self, rng):
+        from repro.ml import DecisionTreeClassifier
+
+        inputs, labels = _blobs(rng, spread=2.2)
+        tree = DecisionTreeClassifier(max_depth=3).fit(inputs, labels)
+        forest = RandomForestClassifier(num_trees=30, max_depth=3).fit(inputs, labels)
+        assert forest.score(inputs, labels) >= tree.score(inputs, labels) - 0.02
+
+    def test_forest_rejects_zero_trees(self):
+        with pytest.raises(ConfigError):
+            RandomForestClassifier(num_trees=0)
+
+    def test_logistic_fits_blobs(self, rng):
+        inputs, labels = _blobs(rng)
+        clf = LogisticRegressionClassifier(epochs=100).fit(inputs, labels)
+        assert clf.score(inputs, labels) > 0.95
+
+    def test_logistic_probabilities_sum_to_one(self, rng):
+        inputs, labels = _blobs(rng)
+        clf = LogisticRegressionClassifier(epochs=50).fit(inputs, labels)
+        probs = clf.predict_proba(inputs[:7])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_logistic_rejects_bad_lr(self):
+        with pytest.raises(ConfigError):
+            LogisticRegressionClassifier(learning_rate=0.0)
+
+
+class TestClassificationMetrics:
+    def test_confusion_matrix_counts(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]))
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_confusion_matrix_trace_is_correct_count(self, rng):
+        true = rng.integers(0, 4, 100)
+        pred = rng.integers(0, 4, 100)
+        matrix = confusion_matrix(true, pred, num_classes=4)
+        assert np.trace(matrix) == np.sum(true == pred)
+
+    def test_precision_recall_perfect(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        precision, recall, f1 = precision_recall_f1(labels, labels)
+        np.testing.assert_allclose(precision, 1.0)
+        np.testing.assert_allclose(recall, 1.0)
+        np.testing.assert_allclose(f1, 1.0)
+
+    def test_macro_f1_penalises_missing_class(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 0, 0, 0])
+        assert macro_f1(true, pred) < 0.5
+
+    def test_stratified_folds_partition(self):
+        labels = np.repeat(np.arange(3), 10)
+        folds = stratified_k_fold(labels, k=5, seed=0)
+        assert len(folds) == 5
+        coverage = np.zeros(30, dtype=int)
+        for _, test_mask in folds:
+            coverage += test_mask
+        np.testing.assert_array_equal(coverage, 1)
+
+    def test_stratified_rejects_small_class(self):
+        with pytest.raises(ConfigError):
+            stratified_k_fold(np.array([0, 0, 1]), k=2)
+
+    def test_cross_validate_scores(self, rng):
+        inputs, labels = _blobs(rng, n_per_class=25)
+        scores = cross_validate(
+            lambda: RandomForestClassifier(num_trees=10), inputs, labels, k=3
+        )
+        assert scores.shape == (3,)
+        assert scores.mean() > 0.9
+
+
+class TestScoreNorm:
+    def _embeddings(self, rng, people=6, per=8):
+        centers = rng.normal(size=(people, 16))
+        emb, labels = [], []
+        for idx, center in enumerate(centers):
+            emb.append(center + 0.15 * rng.normal(size=(per, 16)))
+            labels.extend([idx] * per)
+        return np.concatenate(emb), np.array(labels)
+
+    def test_znorm_standardises_cohort_scores(self, rng):
+        cohort = rng.normal(size=(50, 16))
+        znorm = ZNorm(cohort)
+        template = rng.normal(size=16)
+        mean, std = znorm.statistics(template)
+        assert std > 0
+        # The template's own cohort scores standardise to ~N(0, 1).
+        from repro.core.similarity import pairwise_cosine_distance
+
+        scores = pairwise_cosine_distance(template[None], cohort)[0]
+        z = (scores - mean) / std
+        assert abs(z.mean()) < 1e-9
+        assert z.std() == pytest.approx(1.0)
+
+    def test_tnorm_matrix_rows(self, rng):
+        cohort = rng.normal(size=(40, 16))
+        tnorm = TNorm(cohort)
+        probes = rng.normal(size=(5, 16))
+        templates = rng.normal(size=(3, 16))
+        from repro.core.similarity import pairwise_cosine_distance
+
+        distances = pairwise_cosine_distance(probes, templates)
+        normalized = tnorm.normalize_matrix(distances, probes)
+        assert normalized.shape == (5, 3)
+        single = tnorm.normalize(float(distances[2, 1]), probes[2])
+        assert normalized[2, 1] == pytest.approx(single)
+
+    def test_snorm_does_not_destroy_separation(self, rng):
+        emb, labels = self._embeddings(rng)
+        cohort = rng.normal(size=(60, 16))
+        genuine, impostor = normalized_pair_distances(emb, labels, cohort)
+        assert genuine.mean() < impostor.mean()
+        eer = equal_error_rate(genuine, impostor)
+        assert eer.eer < 0.1
+
+    def test_rejects_tiny_cohort(self, rng):
+        with pytest.raises(ShapeError):
+            ZNorm(rng.normal(size=(1, 8)))
+
+    def test_unknown_method_raises(self, rng):
+        emb, labels = self._embeddings(rng)
+        with pytest.raises(ConfigError):
+            normalized_pair_distances(emb, labels, rng.normal(size=(10, 16)), "q-norm")
+
+
+class TestCurves:
+    def test_auc_perfect_separation(self, rng):
+        genuine = rng.uniform(0.0, 0.3, 500)
+        impostor = rng.uniform(0.7, 1.0, 500)
+        assert roc_auc(genuine, impostor) == pytest.approx(1.0)
+
+    def test_auc_chance(self, rng):
+        scores = rng.normal(size=2000)
+        assert roc_auc(scores, rng.normal(size=2000)) == pytest.approx(0.5, abs=0.03)
+
+    def test_auc_handles_ties(self):
+        genuine = np.array([0.1, 0.5, 0.5])
+        impostor = np.array([0.5, 0.9])
+        auc = roc_auc(genuine, impostor)
+        assert 0.5 < auc < 1.0
+
+    def test_det_curve_monotone(self, rng):
+        genuine = rng.normal(0.3, 0.1, 500)
+        impostor = rng.normal(0.7, 0.1, 500)
+        far_dev, frr_dev = det_curve(genuine, impostor)
+        assert np.all(np.diff(far_dev) >= 0)
+        assert np.all(np.diff(frr_dev) <= 0)
+
+    def test_bootstrap_ci_contains_point(self, rng):
+        genuine = rng.normal(0.3, 0.1, 800)
+        impostor = rng.normal(0.7, 0.1, 800)
+        ci = bootstrap_eer_ci(genuine, impostor, num_resamples=50)
+        assert ci.lower <= ci.point <= ci.upper
+        assert 0.0 <= ci.lower and ci.upper <= 0.5
+
+    def test_subject_bootstrap(self, rng):
+        centers = rng.normal(size=(8, 12))
+        emb, labels = [], []
+        for idx, center in enumerate(centers):
+            emb.append(center + 0.2 * rng.normal(size=(6, 12)))
+            labels.extend([idx] * 6)
+        ci = subject_bootstrap_eer_ci(
+            np.concatenate(emb), np.array(labels), num_resamples=30
+        )
+        assert ci.lower <= ci.upper
+        assert ci.upper <= 0.5
+
+    def test_bootstrap_rejects_bad_confidence(self, rng):
+        with pytest.raises(ConfigError):
+            bootstrap_eer_ci(rng.normal(size=10), rng.normal(size=10), confidence=1.5)

@@ -1,0 +1,49 @@
+"""Statistical feature (SFS) tests (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.features import (
+    FEATURE_NAMES,
+    axis_statistics,
+    statistical_features,
+    statistical_features_batch,
+)
+
+
+class TestAxisStatistics:
+    def test_six_features_in_order(self):
+        segment = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        stats = axis_statistics(segment)
+        assert stats.shape == (6,)
+        assert stats[0] == pytest.approx(3.0)  # mean
+        assert stats[1] == pytest.approx(3.0)  # median
+        assert stats[2] == pytest.approx(2.0)  # variance
+        assert stats[3] == pytest.approx(np.sqrt(2.0))  # std
+        assert stats[4] == pytest.approx(4.0)  # upper quartile
+        assert stats[5] == pytest.approx(2.0)  # lower quartile
+
+    def test_names_documented(self):
+        assert len(FEATURE_NAMES) == 6
+
+
+class TestStatisticalFeatures:
+    def test_36_features_per_signal_array(self, rng):
+        sfs = statistical_features(rng.normal(size=(6, 60)))
+        assert sfs.shape == (36,)
+
+    def test_layout_is_axis_major(self, rng):
+        array = rng.normal(size=(6, 60))
+        sfs = statistical_features(array)
+        np.testing.assert_allclose(sfs[:6], axis_statistics(array[0]))
+        np.testing.assert_allclose(sfs[6:12], axis_statistics(array[1]))
+
+    def test_batch(self, rng):
+        arrays = rng.normal(size=(4, 6, 60))
+        batch = statistical_features_batch(arrays)
+        assert batch.shape == (4, 36)
+        np.testing.assert_allclose(batch[2], statistical_features(arrays[2]))
+
+    def test_batch_rejects_wrong_ndim(self, rng):
+        with pytest.raises(ValueError):
+            statistical_features_batch(rng.normal(size=(6, 60)))

@@ -1,0 +1,127 @@
+"""Recording-condition tests (Sections VII-B/C/D/F)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.physio.conditions import (
+    NOMINAL,
+    RecordingCondition,
+    coupling_gain,
+    mirror_matrix,
+    motion_noise,
+    perturb_person,
+    rotation_matrix,
+    sensor_frame_transform,
+)
+from repro.types import Activity, EarSide, Mouthful, Tone
+
+
+class TestRecordingCondition:
+    def test_nominal_describe(self):
+        assert NOMINAL.describe() == "baseline"
+
+    def test_describe_lists_deviations(self):
+        cond = RecordingCondition(
+            activity=Activity.RUN,
+            mouthful=Mouthful.WATER,
+            tone=Tone.HIGH,
+            ear_side=EarSide.LEFT,
+            orientation_deg=90.0,
+            days_elapsed=14.0,
+        )
+        desc = cond.describe()
+        for token in ("run", "water", "high-tone", "left-ear", "90deg", "+14d"):
+            assert token in desc
+
+    def test_rejects_negative_days(self):
+        with pytest.raises(ConfigError):
+            RecordingCondition(days_elapsed=-1.0)
+
+
+class TestPerturbPerson:
+    def test_nominal_is_identity(self, population, rng):
+        person = population[0]
+        assert perturb_person(person, NOMINAL, rng) is person
+
+    def test_lollipop_increases_mass_and_damping(self, population, rng):
+        person = population[0]
+        out = perturb_person(
+            person, RecordingCondition(mouthful=Mouthful.LOLLIPOP), rng
+        )
+        assert out.mass > person.mass
+        assert out.c1 > person.c1
+
+    def test_water_perturbation_is_small(self, population, rng):
+        person = population[0]
+        out = perturb_person(person, RecordingCondition(mouthful=Mouthful.WATER), rng)
+        assert abs(out.mass / person.mass - 1.0) < 0.05
+
+    def test_days_elapsed_applies_drift(self, population, rng):
+        person = population[0]
+        out = perturb_person(person, RecordingCondition(days_elapsed=14.0), rng)
+        assert out.c1 != person.c1
+
+
+class TestFrames:
+    def test_rotation_preserves_x_axis(self):
+        rot = rotation_matrix(90.0)
+        np.testing.assert_allclose(rot @ [1, 0, 0], [1, 0, 0], atol=1e-12)
+
+    def test_rotation_is_orthonormal(self):
+        rot = rotation_matrix(37.0)
+        np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+
+    def test_360_is_identity(self):
+        np.testing.assert_allclose(rotation_matrix(360.0), np.eye(3), atol=1e-12)
+
+    def test_mirror_flips_y(self):
+        np.testing.assert_allclose(mirror_matrix() @ [0, 1, 0], [0, -1, 0])
+
+    def test_sensor_frame_combines_both(self):
+        cond = RecordingCondition(ear_side=EarSide.LEFT, orientation_deg=90.0)
+        combined = sensor_frame_transform(cond)
+        expected = rotation_matrix(90.0) @ mirror_matrix()
+        np.testing.assert_allclose(combined, expected)
+
+    def test_left_ear_couples_less(self, population):
+        person = population[0]
+        cond = RecordingCondition(ear_side=EarSide.LEFT)
+        assert coupling_gain(person, cond) == person.left_right_asymmetry
+        assert coupling_gain(person, NOMINAL) == 1.0
+
+
+class TestMotionNoise:
+    def test_static_is_silent(self, rng):
+        noise = motion_noise(NOMINAL, 100, 350.0, rng)
+        assert np.all(noise == 0.0)
+
+    def test_run_is_stronger_than_walk(self, rng):
+        walk = motion_noise(
+            RecordingCondition(activity=Activity.WALK), 700, 350.0,
+            np.random.default_rng(0),
+        )
+        run = motion_noise(
+            RecordingCondition(activity=Activity.RUN), 700, 350.0,
+            np.random.default_rng(0),
+        )
+        assert run.std() > walk.std()
+
+    def test_energy_below_highpass_cutoff(self, rng):
+        """Body motion lives below ~12 Hz; the 20 Hz high-pass removes it."""
+        noise = motion_noise(
+            RecordingCondition(activity=Activity.RUN), 3500, 350.0, rng
+        )
+        spectrum = np.abs(np.fft.rfft(noise[:, 2])) ** 2
+        freqs = np.fft.rfftfreq(3500, 1 / 350.0)
+        low = spectrum[(freqs > 0) & (freqs < 15)].sum()
+        high = spectrum[freqs >= 20].sum()
+        assert low > 5 * high
+
+    def test_shape(self, rng):
+        cond = RecordingCondition(activity=Activity.WALK)
+        assert motion_noise(cond, 42, 350.0, rng).shape == (42, 3)
+
+    def test_rejects_negative_samples(self, rng):
+        with pytest.raises(ConfigError):
+            motion_noise(NOMINAL, -1, 350.0, rng)

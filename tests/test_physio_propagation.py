@@ -1,0 +1,63 @@
+"""Propagation model tests (Fig. 1 / Section II-A)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.physio.propagation import BodyLocation, PropagationModel
+
+
+class TestGains:
+    def test_throat_is_unity(self):
+        assert PropagationModel().gain_to(BodyLocation.THROAT) == 1.0
+
+    def test_monotone_decay_along_path(self):
+        model = PropagationModel()
+        throat = model.gain_to(BodyLocation.THROAT)
+        mandible = model.gain_to(BodyLocation.MANDIBLE)
+        ear = model.gain_to(BodyLocation.EAR)
+        assert throat > mandible > ear > 0.0
+
+    def test_segment_gain_is_exponential(self):
+        model = PropagationModel()
+        assert model.segment_gain(16.0, 0.08) == pytest.approx(math.exp(-16.0 * 0.08))
+
+    def test_ear_gain_composes_segments(self):
+        model = PropagationModel()
+        expected = model.segment_gain(
+            model.alpha_tissue, model.throat_to_mandible_m
+        ) * model.segment_gain(model.alpha_bone, model.mandible_to_ear_m)
+        assert model.gain_to(BodyLocation.EAR) == pytest.approx(expected)
+
+    def test_mandible_to_ear_ratio_matches_paper(self):
+        """Paper Fig. 1: std 1050 at the mandible vs 761 at the ear."""
+        model = PropagationModel()
+        ratio = model.gain_to(BodyLocation.MANDIBLE) / model.gain_to(BodyLocation.EAR)
+        assert ratio == pytest.approx(1050 / 761, rel=0.05)
+
+
+class TestBonePathDominance:
+    def test_default_bone_path_dominates(self):
+        """The paper's feasibility condition: mandible-borne vibration is
+        the main component at the ear."""
+        assert PropagationModel().bone_path_dominates()
+
+    def test_dense_tissue_can_flip_dominance(self):
+        model = PropagationModel(alpha_tissue=5.0, alpha_bone=4.9)
+        # Nearly equal attenuation: the shorter direct path wins.
+        assert not model.bone_path_dominates()
+
+
+class TestValidation:
+    def test_bone_must_attenuate_less(self):
+        with pytest.raises(ConfigError):
+            PropagationModel(alpha_tissue=4.0, alpha_bone=16.0)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigError):
+            PropagationModel(mandible_to_ear_m=-0.01)
+
+    def test_rejects_zero_alpha(self):
+        with pytest.raises(ConfigError):
+            PropagationModel(alpha_tissue=0.0, alpha_bone=-1.0)

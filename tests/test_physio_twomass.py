@@ -1,0 +1,98 @@
+"""Two-mass oscillator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.physio.twomass import TwoMassOscillator, one_dof_fidelity
+from repro.physio.vibration import MandibleOscillator
+
+RATE = 5600.0
+
+
+def _impulse(steps: int = 4000) -> np.ndarray:
+    forcing = np.zeros(steps)
+    forcing[10] = 1.0
+    return forcing
+
+
+class TestTwoMassOscillator:
+    def test_two_distinct_modes(self, population):
+        model = TwoMassOscillator(population[0])
+        low, high = model.mode_frequencies_hz()
+        assert 0.0 < low < high
+
+    def test_low_mode_below_one_dof_natural(self, population):
+        """Coupling splits the spectrum around the one-DOF frequency."""
+        person = population[0]
+        low, high = TwoMassOscillator(person).mode_frequencies_hz()
+        assert low < person.natural_frequency_hz * 1.5
+        assert high > person.natural_frequency_hz * 0.8
+
+    def test_impulse_rings_and_decays(self, population):
+        model = TwoMassOscillator(population[1])
+        disp, _, _ = model.simulate(_impulse(), RATE)
+        early = np.abs(disp[:800]).max()
+        late = np.abs(disp[-800:]).max()
+        assert late < 0.3 * early
+
+    def test_strong_coupling_changes_the_spectrum(self, population):
+        """With strong coupling the primary mass's response measurably
+        departs from the one-DOF model (the modes are heavily damped, so
+        we assert spectral divergence rather than two sharp peaks)."""
+        person = population[1]
+        impulse = _impulse(8000)
+        _, _, acc_two = TwoMassOscillator(person, coupling_ratio=2.0).simulate(
+            impulse, RATE
+        )
+        _, _, acc_one = MandibleOscillator(person).simulate(impulse, RATE)
+        spec_two = np.abs(np.fft.rfft(acc_two))
+        spec_one = np.abs(np.fft.rfft(acc_one))
+        cos = float(
+            spec_two @ spec_one
+            / (np.linalg.norm(spec_two) * np.linalg.norm(spec_one))
+        )
+        assert cos < 0.995  # distinguishable ...
+        assert cos > 0.3    # ... but still the same kind of system
+
+    def test_rest_stays_at_rest(self, population):
+        model = TwoMassOscillator(population[0])
+        disp, vel, acc = model.simulate(np.zeros(1000), RATE)
+        assert np.all(disp == 0.0) and np.all(acc == 0.0)
+
+    def test_rejects_undersampling(self, population):
+        with pytest.raises(ConfigError):
+            TwoMassOscillator(population[0]).simulate(np.zeros(100), 200.0)
+
+    def test_rejects_bad_split(self, population):
+        with pytest.raises(ConfigError):
+            TwoMassOscillator(population[0], split=0.05)
+
+    def test_rejects_2d_forcing(self, population):
+        with pytest.raises(ShapeError):
+            TwoMassOscillator(population[0]).simulate(np.zeros((2, 10)), RATE)
+
+
+class TestOneDofFidelity:
+    def test_fidelity_in_unit_interval(self, population):
+        value = one_dof_fidelity(population[0], rate_hz=RATE)
+        assert 0.0 <= value <= 1.0
+
+    def test_one_dof_is_reasonable_approximation(self, population):
+        """The paper's simplification holds to first order: the spectra
+        of the two models stay well correlated."""
+        values = [one_dof_fidelity(p, rate_hz=RATE) for p in population[:4]]
+        assert min(values) > 0.5
+
+    def test_weak_coupling_converges_to_one_dof(self, population):
+        """With a vanishing secondary mass and coupling, the primary mass
+        behaves like the one-DOF system."""
+        person = population[2]
+        two = TwoMassOscillator(person, split=0.9, coupling_ratio=0.05)
+        one = MandibleOscillator(person)
+        impulse = _impulse()
+        d_two, _, _ = two.simulate(impulse, RATE)
+        d_one, _, _ = one.simulate(impulse, RATE)
+        # Not identical (different masses), but strongly correlated.
+        corr = np.corrcoef(d_two, d_one)[0, 1]
+        assert corr > 0.7

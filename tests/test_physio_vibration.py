@@ -1,0 +1,140 @@
+"""Mandible oscillator tests."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.physio.vibration import MandibleOscillator
+
+
+def _impulse(steps: int, at: int = 10, amplitude: float = 1.0) -> np.ndarray:
+    forcing = np.zeros(steps)
+    forcing[at] = amplitude
+    return forcing
+
+
+class TestSimulation:
+    RATE = 2800.0
+
+    def test_rest_stays_at_rest(self, population):
+        osc = MandibleOscillator(population[0])
+        disp, vel, acc = osc.simulate(np.zeros(500), self.RATE)
+        assert np.all(disp == 0.0) and np.all(vel == 0.0) and np.all(acc == 0.0)
+
+    def test_impulse_response_decays(self, population):
+        osc = MandibleOscillator(population[0])
+        disp, _, _ = osc.simulate(_impulse(2000), self.RATE)
+        early = np.max(np.abs(disp[:400]))
+        late = np.max(np.abs(disp[-400:]))
+        assert late < 0.3 * early
+
+    def test_impulse_rings_near_natural_frequency(self, population):
+        person = population[1]
+        osc = MandibleOscillator(person)
+        disp, _, _ = osc.simulate(_impulse(4000), self.RATE)
+        spectrum = np.abs(np.fft.rfft(disp))
+        freqs = np.fft.rfftfreq(disp.size, 1.0 / self.RATE)
+        peak = freqs[np.argmax(spectrum[1:]) + 1]
+        # Damped frequency is slightly below the undamped natural one.
+        assert peak == pytest.approx(person.natural_frequency_hz, rel=0.15)
+
+    def test_positive_homogeneity(self, population):
+        """Scaling the force scales the trajectory exactly (c(x') depends
+        only on the sign of velocity)."""
+        osc = MandibleOscillator(population[0])
+        forcing = np.sin(np.linspace(0, 30, 1500))
+        d1, v1, a1 = osc.simulate(forcing, self.RATE)
+        d2, v2, a2 = osc.simulate(3.0 * forcing, self.RATE)
+        np.testing.assert_allclose(d2, 3.0 * d1, rtol=1e-9)
+        np.testing.assert_allclose(a2, 3.0 * a1, rtol=1e-9)
+
+    def test_asymmetric_damping_breaks_odd_symmetry(self, population):
+        """With c1 != c2, responses to +F and -F are not mirror images."""
+        person = population[0]
+        assert person.c1 != person.c2
+        osc = MandibleOscillator(person)
+        forcing = _impulse(2000, amplitude=1.0)
+        d_pos, _, _ = osc.simulate(forcing, self.RATE)
+        d_neg, _, _ = osc.simulate(-forcing, self.RATE)
+        assert not np.allclose(d_neg, -d_pos, rtol=1e-3)
+
+    def test_symmetric_damping_keeps_odd_symmetry(self, population):
+        person = dataclasses.replace(population[0], c2=population[0].c1)
+        osc = MandibleOscillator(person)
+        forcing = _impulse(2000)
+        d_pos, _, _ = osc.simulate(forcing, self.RATE)
+        d_neg, _, _ = osc.simulate(-forcing, self.RATE)
+        np.testing.assert_allclose(d_neg, -d_pos, rtol=1e-9)
+
+    def test_batch_matches_single(self, population):
+        osc = MandibleOscillator(population[0])
+        f1 = np.sin(np.linspace(0, 20, 800))
+        f2 = np.cos(np.linspace(0, 15, 800))
+        batch = np.stack([f1, f2])
+        bd, bv, ba = osc.simulate_batch(batch, self.RATE)
+        sd, sv, sa = osc.simulate(f1, self.RATE)
+        np.testing.assert_allclose(bd[0], sd)
+        np.testing.assert_allclose(ba[0], sa)
+
+    def test_rejects_undersampled_rate(self, population):
+        osc = MandibleOscillator(population[0])
+        with pytest.raises(ConfigError):
+            osc.simulate(np.zeros(100), 100.0)
+
+    def test_rejects_2d_forcing_in_single(self, population):
+        osc = MandibleOscillator(population[0])
+        with pytest.raises(ShapeError):
+            osc.simulate(np.zeros((2, 100)), self.RATE)
+
+
+class TestSignedForcing:
+    def test_direction_follows_duty_cycle(self, population):
+        person = population[0]
+        osc = MandibleOscillator(person)
+        phase = np.linspace(0.0, 0.999, 1000)
+        pulses = np.ones(1000)
+        force = osc.signed_forcing(pulses, phase)
+        positive = phase < person.duty_cycle
+        assert np.all(force[positive] >= 0.0)
+        assert np.all(force[~positive] <= 0.0)
+
+    def test_amplitudes_match_person(self, population):
+        person = population[0]
+        osc = MandibleOscillator(person)
+        phase = np.array([0.01, 0.99])
+        force = osc.signed_forcing(np.ones(2), phase)
+        assert force[0] == pytest.approx(person.force_pos)
+        assert force[1] == pytest.approx(-person.force_neg)
+
+    def test_shape_mismatch_raises(self, population):
+        osc = MandibleOscillator(population[0])
+        with pytest.raises(ShapeError):
+            osc.signed_forcing(np.ones(5), np.zeros(6))
+
+
+class TestFrequencyResponse:
+    def test_peak_near_natural_frequency(self, population):
+        person = population[0]
+        osc = MandibleOscillator(person)
+        freqs = np.linspace(10, 200, 1000)
+        resp = osc.frequency_response(freqs)
+        peak = freqs[np.argmax(resp)]
+        assert peak == pytest.approx(person.natural_frequency_hz, rel=0.1)
+
+    def test_direction_changes_response(self, population):
+        osc = MandibleOscillator(population[0])
+        freqs = np.array([population[0].natural_frequency_hz])
+        pos = osc.frequency_response(freqs, "positive")
+        neg = osc.frequency_response(freqs, "negative")
+        assert pos[0] != neg[0]
+
+    def test_rejects_unknown_direction(self, population):
+        osc = MandibleOscillator(population[0])
+        with pytest.raises(ConfigError):
+            osc.frequency_response(np.array([50.0]), "sideways")
+
+    def test_acceleration_gain_positive(self, population):
+        osc = MandibleOscillator(population[0])
+        assert osc.acceleration_gain(population[0].f0_hz) > 0.0

@@ -1,0 +1,105 @@
+"""Voice source tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.physio.voice import VoiceSource, rosenberg_pulse
+from repro.types import Tone
+
+
+class TestRosenbergPulse:
+    def test_range_zero_to_one(self):
+        phase = np.linspace(0.0, 0.999, 500)
+        pulse = rosenberg_pulse(phase, 0.6)
+        assert pulse.min() >= 0.0
+        assert pulse.max() <= 1.0 + 1e-12
+
+    def test_closed_phase_is_zero(self):
+        phase = np.linspace(0.65, 0.999, 100)
+        assert np.all(rosenberg_pulse(phase, 0.6) == 0.0)
+
+    def test_peak_at_two_thirds_open(self):
+        oq = 0.6
+        phase = np.linspace(0.0, oq, 1000)
+        pulse = rosenberg_pulse(phase, oq)
+        peak = phase[np.argmax(pulse)]
+        assert peak == pytest.approx(oq * 2 / 3, abs=0.02)
+
+    def test_rejects_bad_open_quotient(self):
+        with pytest.raises(ConfigError):
+            rosenberg_pulse(np.array([0.1]), 1.5)
+
+
+class TestVoiceSource:
+    def test_silent_before_onset(self, population, rng):
+        voice = VoiceSource(population[0])
+        wave = voice.synthesize(0.5, 2800, rng, onset_s=0.2)
+        onset_idx = int(0.2 * 2800)
+        assert np.all(wave[: onset_idx - 1] == 0.0)
+        assert np.any(wave[onset_idx:] != 0.0)
+
+    def test_phase_locked_to_onset(self, population):
+        """The first glottal cycle begins at the onset, not earlier."""
+        voice = VoiceSource(population[0], jitter=0.0, shimmer=0.0)
+        rng = np.random.default_rng(0)
+        _, phase = voice.synthesize_with_phase(0.5, 2800, rng, onset_s=0.2)
+        onset_idx = int(0.2 * 2800)
+        assert phase[onset_idx - 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_tone_scales_f0(self, population):
+        person = population[0]
+        assert VoiceSource(person, tone=Tone.HIGH).effective_f0() > person.f0_hz
+        assert VoiceSource(person, tone=Tone.LOW).effective_f0() < person.f0_hz
+        assert VoiceSource(person).effective_f0() == pytest.approx(person.f0_hz)
+
+    def test_output_length(self, population, rng):
+        voice = VoiceSource(population[0])
+        wave = voice.synthesize(0.6, 2800, rng)
+        assert wave.shape == (1680,)
+
+    def test_fundamental_frequency_visible(self, population):
+        """The strongest non-DC component sits near F0."""
+        person = population[1]
+        voice = VoiceSource(person, jitter=0.0, shimmer=0.0)
+        rng = np.random.default_rng(0)
+        rate = 8000.0
+        wave = voice.synthesize(1.0, rate, rng, onset_s=0.0)
+        spectrum = np.abs(np.fft.rfft(wave - wave.mean()))
+        freqs = np.fft.rfftfreq(wave.size, 1.0 / rate)
+        peak = freqs[np.argmax(spectrum)]
+        assert peak == pytest.approx(person.f0_hz, rel=0.05)
+
+    def test_deterministic_given_rng(self, population):
+        voice = VoiceSource(population[0])
+        a = voice.synthesize(0.3, 2800, np.random.default_rng(1))
+        b = voice.synthesize(0.3, 2800, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_negative_jitter(self, population):
+        with pytest.raises(ConfigError):
+            VoiceSource(population[0], jitter=-0.1)
+
+    def test_rejects_bad_duration(self, population, rng):
+        with pytest.raises(ConfigError):
+            VoiceSource(population[0]).synthesize(-1.0, 2800, rng)
+
+    def test_breathiness_adds_noise_floor(self, population):
+        """Aspiration raises energy between harmonics."""
+        import dataclasses
+
+        person = dataclasses.replace(population[0], breathiness=0.0)
+        breathy = dataclasses.replace(population[0], breathiness=0.5)
+        rate = 8000.0
+        clean_wave = VoiceSource(person, jitter=0.0, shimmer=0.0).synthesize(
+            1.0, rate, np.random.default_rng(2), onset_s=0.0
+        )
+        breathy_wave = VoiceSource(breathy, jitter=0.0, shimmer=0.0).synthesize(
+            1.0, rate, np.random.default_rng(2), onset_s=0.0
+        )
+        f0 = person.f0_hz
+        freqs = np.fft.rfftfreq(clean_wave.size, 1.0 / rate)
+        between = (freqs > f0 * 1.3) & (freqs < f0 * 1.7)
+        clean_energy = np.sum(np.abs(np.fft.rfft(clean_wave))[between] ** 2)
+        breathy_energy = np.sum(np.abs(np.fft.rfft(breathy_wave))[between] ** 2)
+        assert breathy_energy > clean_energy

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.core.similarity import cosine_distance, pairwise_cosine_distance
+from repro.dsp.filters import design_highpass, frequency_response, sosfilt
+from repro.dsp.gradients import resample_to_length, split_directions
+from repro.dsp.normalize import min_max_normalize
+from repro.dsp.outliers import mad_outlier_mask, replace_outliers
+from repro.eval.metrics import false_accept_rate, false_reject_rate
+from repro.security.cancelable import CancelableTransform
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(min_size=2, max_size=64):
+    return arrays(
+        np.float64,
+        st.integers(min_size, max_size),
+        elements=finite_floats,
+    )
+
+
+class TestSimilarityProperties:
+    @given(vectors())
+    def test_self_distance_zero(self, v):
+        if np.linalg.norm(v) == 0.0:
+            assert cosine_distance(v, v) == 1.0
+        else:
+            assert cosine_distance(v, v) == pytest.approx(0.0, abs=1e-9)
+
+    @given(vectors(8, 16), st.floats(0.01, 100.0))
+    def test_scale_invariance(self, v, scale):
+        u = v + 1.0  # avoid exact zero vectors
+        assert cosine_distance(u, u * scale) == pytest.approx(0.0, abs=1e-9)
+
+    @given(vectors(4, 16), vectors(4, 16))
+    def test_symmetry_and_range(self, u, v):
+        if u.shape != v.shape:
+            return
+        d_uv = cosine_distance(u, v)
+        d_vu = cosine_distance(v, u)
+        assert d_uv == pytest.approx(d_vu, abs=1e-12)
+        assert -1e-12 <= d_uv <= 2.0 + 1e-12
+
+    @given(st.integers(2, 8), st.integers(2, 8))
+    def test_pairwise_shape(self, n, m):
+        rng = np.random.default_rng(0)
+        out = pairwise_cosine_distance(rng.normal(size=(n, 5)), rng.normal(size=(m, 5)))
+        assert out.shape == (n, m)
+
+
+class TestNormalizeProperties:
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=2, min_side=2, max_side=40),
+               elements=finite_floats)
+    )
+    def test_minmax_bounds(self, segment):
+        out = min_max_normalize(segment)
+        assert np.all(out >= -1e-12)
+        assert np.all(out <= 1.0 + 1e-12)
+
+    @given(vectors(3, 40), st.floats(0.5, 100.0), st.floats(-100.0, 100.0))
+    def test_minmax_affine_invariance(self, v, scale, shift):
+        assume(v.max() - v.min() > 1e-3)  # degenerate spans lose precision
+        out1 = min_max_normalize(v)
+        out2 = min_max_normalize(v * scale + shift)
+        np.testing.assert_allclose(out1, out2, atol=1e-5)
+
+
+class TestGradientProperties:
+    @given(vectors(2, 60), st.integers(1, 40))
+    def test_resample_preserves_bounds(self, v, length):
+        out = resample_to_length(v, length)
+        assert out.shape == (length,)
+        if v.size:
+            assert out.min() >= v.min() - 1e-9
+            assert out.max() <= v.max() + 1e-9
+
+    @given(vectors(2, 60), st.integers(2, 30))
+    def test_split_directions_partition(self, grads, width):
+        out = split_directions(grads, width)
+        assert out.shape == (2, width)
+        assert np.all(out[0] >= -1e-12)
+        assert np.all(out[1] <= 1e-12)
+
+
+class TestOutlierProperties:
+    @given(vectors(5, 60))
+    def test_replacement_idempotent_on_mask(self, v):
+        mask = mad_outlier_mask(v)
+        out = replace_outliers(v, mask=mask)
+        assert out.shape == v.shape
+        # Non-outliers are untouched.
+        np.testing.assert_array_equal(out[~mask], v[~mask])
+
+    @given(vectors(10, 60), st.floats(100.0, 1e5))
+    def test_single_spike_always_caught(self, v, magnitude):
+        base = np.sin(np.linspace(0, 6, v.size))  # structured, non-constant
+        spiked = base.copy()
+        spiked[v.size // 2] += magnitude * (1.0 + np.abs(v[0]) / 1e6)
+        mask = mad_outlier_mask(spiked)
+        assert mask[v.size // 2]
+
+
+class TestFilterProperties:
+    @given(st.sampled_from([2, 4, 6, 8]), st.floats(5.0, 100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_highpass_dc_rejection(self, order, cutoff):
+        sos = design_highpass(order, cutoff, 350.0)
+        mag0 = np.abs(frequency_response(sos, np.array([1e-3]), 350.0))[0]
+        assert mag0 < 1e-3
+
+    @given(st.sampled_from([2, 4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_linearity(self, order):
+        rng = np.random.default_rng(0)
+        sos = design_highpass(order, 20.0, 350.0)
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        lhs = sosfilt(sos, 2.0 * x + 3.0 * y)
+        rhs = 2.0 * sosfilt(sos, x) + 3.0 * sosfilt(sos, y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.float64, st.integers(2, 50), elements=st.floats(0.0, 2.0)),
+        st.floats(0.0, 2.0),
+        st.floats(0.0, 2.0),
+    )
+    def test_frr_monotone_in_threshold(self, distances, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert false_reject_rate(distances, lo) >= false_reject_rate(distances, hi)
+        assert false_accept_rate(distances, lo) <= false_accept_rate(distances, hi)
+
+    @given(arrays(np.float64, st.integers(2, 50), elements=st.floats(0.0, 2.0)))
+    def test_far_frr_complementary_on_same_data(self, distances):
+        """On identical score sets, FAR(t) + FRR(t) >= ... sanity: both in [0,1]."""
+        for t in (0.0, 0.5, 1.0, 2.0):
+            assert 0.0 <= false_reject_rate(distances, t) <= 1.0
+            assert 0.0 <= false_accept_rate(distances, t) <= 1.0
+
+
+class TestCancelableProperties:
+    @given(st.integers(0, 1000), st.integers(8, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_determinism_in_seed(self, seed, dim):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=dim)
+        a = CancelableTransform(dim, seed=seed).apply(v)
+        b = CancelableTransform(dim, seed=seed).apply(v)
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity(self, seed):
+        transform = CancelableTransform(16, seed=seed)
+        rng = np.random.default_rng(1)
+        u, v = rng.normal(size=16), rng.normal(size=16)
+        np.testing.assert_allclose(
+            transform.apply(u + 2.0 * v),
+            transform.apply(u) + 2.0 * transform.apply(v),
+            atol=1e-9,
+        )
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_renewal_chain_never_repeats(self, seed):
+        t = CancelableTransform(8, seed=seed)
+        seeds = {t.seed}
+        for _ in range(5):
+            t = t.renew()
+            assert t.seed not in seeds or len(seeds) > 5
+            seeds.add(t.seed)
