@@ -30,6 +30,9 @@ from repro.config import (
     TrainingConfig,
 )
 from repro.core import (
+    BatchItemFailure,
+    BatchOutcome,
+    InferenceEngine,
     MandiPass,
     TwoBranchExtractor,
     cosine_distance,
@@ -48,6 +51,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Activity",
+    "BatchItemFailure",
+    "BatchOutcome",
     "CancelableTransform",
     "DEFAULT_CONFIG",
     "DatasetCache",
@@ -57,6 +62,7 @@ __all__ = [
     "ExtractorConfig",
     "Gender",
     "IDEAL_IMU",
+    "InferenceEngine",
     "MPU6050",
     "MPU9250",
     "MandiPass",

@@ -55,8 +55,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_eer(args: argparse.Namespace) -> int:
-    from repro.core.mandibleprint import extract_embeddings
-    from repro.core.similarity import center_embedding
+    from repro.core.engine import InferenceEngine
     from repro.datasets.cache import DatasetCache
     from repro.datasets.standard import user_spec
     from repro.eval.metrics import equal_error_rate
@@ -68,7 +67,7 @@ def _cmd_eer(args: argparse.Namespace) -> int:
     users = cache.get(
         user_spec(num_people=args.people, trials_per_person=args.trials)
     )
-    emb = center_embedding(extract_embeddings(model, users.features))
+    emb = InferenceEngine(model).embed_features(users.features)
     genuine, impostor = genuine_impostor_distances(emb, users.labels)
     eer = equal_error_rate(genuine, impostor)
     print(f"users                 : {args.people} "
@@ -115,9 +114,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     device.enroll(
         "you", [recorder.record(population[1], trial_index=i) for i in range(5)]
     )
-    genuine = device.verify("you", recorder.record(population[1], trial_index=30))
-    impostor = device.verify("you", recorder.record(population[3], trial_index=30))
-    silent = device.verify("you", np.zeros((210, 6)))
+    # One batched pass through the inference engine decides all three.
+    genuine, impostor, silent = device.verify_many(
+        "you",
+        [
+            recorder.record(population[1], trial_index=30),
+            recorder.record(population[3], trial_index=30),
+            np.zeros((210, 6)),
+        ],
+    )
     print(f"genuine : accepted={genuine.accepted}  distance={genuine.distance:.3f}")
     print(f"impostor: accepted={impostor.accepted}  distance={impostor.distance:.3f}")
     print(f"silent  : accepted={silent.accepted}  (no vibration)")

@@ -7,9 +7,11 @@ MandiPass authentication system.
 * :mod:`repro.core.similarity` -- cosine distance and decisions,
 * :mod:`repro.core.enrollment` / :mod:`repro.core.verification` -- the
   two phases of Fig. 3,
+* :mod:`repro.core.engine` -- the batch-first inference engine,
 * :mod:`repro.core.system` -- the ``MandiPass`` facade.
 """
 
+from repro.core.engine import BatchItemFailure, BatchOutcome, InferenceEngine
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import (
     FrontEnd,
@@ -29,8 +31,11 @@ from repro.core.system import MandiPass
 from repro.core.training import TrainingHistory, train_extractor
 
 __all__ = [
+    "BatchItemFailure",
+    "BatchOutcome",
     "FrontEnd",
     "GradientFrontEnd",
+    "InferenceEngine",
     "MandiPass",
     "RectifiedSpectralFrontEnd",
     "fuse_majority",

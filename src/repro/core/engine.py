@@ -1,0 +1,195 @@
+"""Batch-first inference engine: preprocess → front end → extractor.
+
+Every layer of the verify path is batchable — the paper's fixed
+``n = 60`` segment makes whole campaigns stackable with no padding —
+so the engine runs the dense stages on ``(B, ...)`` arrays and keeps
+per-recording bookkeeping only where the semantics demand it (onset
+detection, failure attribution).  The single-recording APIs in
+:mod:`repro.core.verification` and :mod:`repro.core.system` are thin
+wrappers over this module.
+
+A batch never raises because one recording is bad: each stage returns a
+:class:`BatchOutcome` that carries the stacked successes alongside
+structured per-item failures (input index, error class, reason), so a
+server draining a verification queue can answer every request in the
+batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.extractor import TwoBranchExtractor
+from repro.core.frontend import FrontEnd
+from repro.core.mandibleprint import extract_embeddings
+from repro.core.similarity import center_embedding
+from repro.dsp.pipeline import Preprocessor
+from repro.errors import ConfigError, ShapeError
+from repro.types import RawRecording
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchItemFailure:
+    """Why one recording of a batch could not be processed.
+
+    Attributes:
+        index: position of the recording in the input batch.
+        error: exception class name (e.g. ``"OnsetNotFoundError"``).
+        reason: human-readable message from the underlying exception.
+    """
+
+    index: int
+    error: str
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchOutcome:
+    """Result of one batched stage: stacked successes + per-item failures.
+
+    Attributes:
+        values: ``(K, ...)`` stage output for the ``K`` successes, in
+            input order.
+        indices: ``(K,)`` input-batch position of each success row.
+        failures: one entry per failed recording, sorted by index.
+        batch_size: total number of recordings that entered the batch.
+    """
+
+    values: np.ndarray
+    indices: np.ndarray
+    failures: tuple[BatchItemFailure, ...]
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 0:
+            raise ShapeError("batch_size must be non-negative")
+        if len(self.values) != len(self.indices):
+            raise ShapeError("values and indices disagree on success count")
+        if len(self.indices) + len(self.failures) != self.batch_size:
+            raise ShapeError("successes + failures must cover the batch")
+
+    @property
+    def num_ok(self) -> int:
+        return int(len(self.indices))
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.failures)
+
+    def ok_mask(self) -> np.ndarray:
+        """Boolean ``(batch_size,)`` mask of successful input positions."""
+        mask = np.zeros(self.batch_size, dtype=bool)
+        mask[np.asarray(self.indices, dtype=np.int64)] = True
+        return mask
+
+    def failure_for(self, index: int) -> BatchItemFailure | None:
+        """The failure recorded for input ``index``, or None if it succeeded."""
+        for failure in self.failures:
+            if failure.index == index:
+                return failure
+        return None
+
+    def scatter(self, fill_value: float) -> np.ndarray:
+        """Expand ``values`` back to ``(batch_size, ...)`` input order.
+
+        Failed positions are filled with ``fill_value``; useful for
+        producing one aligned row per request.
+        """
+        values = np.asarray(self.values)
+        out = np.full((self.batch_size,) + values.shape[1:], fill_value, dtype=np.float64)
+        if self.num_ok:
+            out[np.asarray(self.indices, dtype=np.int64)] = values
+        return out
+
+
+def _as_failures(
+    failures: Sequence[tuple[int, BaseException]]
+) -> tuple[BatchItemFailure, ...]:
+    return tuple(
+        BatchItemFailure(index=idx, error=type(exc).__name__, reason=str(exc))
+        for idx, exc in failures
+    )
+
+
+class InferenceEngine:
+    """Facade running the whole verify path on stacked batches.
+
+    Args:
+        model: a trained :class:`TwoBranchExtractor`.
+        preprocessor: Section IV pipeline; optional when only
+            feature-level entry points (:meth:`embed_features`) are used.
+        frontend: direction-splitting front end; optional likewise.
+        batch_size: forward-pass chunking for the extractor.
+    """
+
+    def __init__(
+        self,
+        model: TwoBranchExtractor,
+        preprocessor: Preprocessor | None = None,
+        frontend: FrontEnd | None = None,
+        batch_size: int = 256,
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        self.model = model
+        self.preprocessor = preprocessor
+        self.frontend = frontend
+        self.batch_size = batch_size
+
+    # -- stage entry points ---------------------------------------------
+
+    def _require_signal_stages(self) -> tuple[Preprocessor, FrontEnd]:
+        if self.preprocessor is None or self.frontend is None:
+            raise ConfigError(
+                "this engine was built without a preprocessor/front end; "
+                "only feature-level entry points are available"
+            )
+        return self.preprocessor, self.frontend
+
+    def preprocess(self, recordings: Sequence[RawRecording]) -> BatchOutcome:
+        """Batched Section IV pipeline; values are ``(K, 6, n)`` signals."""
+        preprocessor, _ = self._require_signal_stages()
+        signals, indices, failures = preprocessor.process_batch_detailed(recordings)
+        return BatchOutcome(
+            values=signals,
+            indices=indices,
+            failures=_as_failures(failures),
+            batch_size=len(recordings),
+        )
+
+    def features(self, signal_arrays: np.ndarray) -> np.ndarray:
+        """Front-end transform of stacked signals: ``(K, 2, 6, W)``."""
+        _, frontend = self._require_signal_stages()
+        return frontend.transform_batch(signal_arrays)
+
+    def embed_features(self, feature_arrays: np.ndarray) -> np.ndarray:
+        """Centred MandiblePrints ``(K, d)`` for stacked feature arrays."""
+        return center_embedding(
+            extract_embeddings(self.model, feature_arrays, batch_size=self.batch_size)
+        )
+
+    # -- end-to-end -----------------------------------------------------
+
+    def embed(self, recordings: Sequence[RawRecording]) -> BatchOutcome:
+        """Recordings to centred MandiblePrints, with per-item failures."""
+        outcome = self.preprocess(recordings)
+        if outcome.num_ok == 0:
+            empty = np.empty((0, self.model.config.embedding_dim))
+            return dataclasses.replace(outcome, values=empty)
+        embeddings = self.embed_features(self.features(outcome.values))
+        return dataclasses.replace(outcome, values=embeddings)
+
+    def embed_one(self, recording: RawRecording) -> np.ndarray:
+        """Single-recording path; raises on unusable input.
+
+        Unlike :meth:`embed`, an undetectable vibration propagates as a
+        :class:`repro.errors.SignalError` subclass — the contract of the
+        historical ``probe_embedding`` helper this backs.
+        """
+        preprocessor, frontend = self._require_signal_stages()
+        signal_array = preprocessor.process(recording)
+        features = frontend.transform(signal_array)
+        return self.embed_features(features[None, ...])[0]

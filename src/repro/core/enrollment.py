@@ -12,12 +12,11 @@ import dataclasses
 
 import numpy as np
 
+from repro.core.engine import InferenceEngine
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import FrontEnd
-from repro.core.mandibleprint import extract_embeddings
-from repro.core.similarity import center_embedding
 from repro.dsp.pipeline import Preprocessor
-from repro.errors import EnrollmentError, SignalError
+from repro.errors import EnrollmentError
 from repro.security.cancelable import CancelableTransform
 from repro.types import RawRecording
 
@@ -47,8 +46,10 @@ def build_template(
 ) -> tuple[np.ndarray, int]:
     """Extract and average embeddings from enrollment recordings.
 
-    Recordings without a detectable vibration are skipped; at least one
-    must survive.
+    The recordings run through the batched
+    :class:`repro.core.engine.InferenceEngine` in one pass; recordings
+    without a detectable vibration are skipped (the engine records them
+    as per-item failures), and at least one must survive.
 
     Returns:
         ``(template, used_count)`` where template is ``(embedding_dim,)``.
@@ -56,17 +57,11 @@ def build_template(
     Raises:
         repro.errors.EnrollmentError: if no recording was usable.
     """
-    features = []
-    for recording in recordings:
-        try:
-            signal_array = preprocessor.process(recording)
-        except SignalError:
-            continue
-        features.append(frontend.transform(signal_array))
-    if not features:
+    engine = InferenceEngine(model, preprocessor, frontend)
+    outcome = engine.embed(recordings)
+    if outcome.num_ok == 0:
         raise EnrollmentError("no enrollment recording contained a vibration")
-    embeddings = center_embedding(extract_embeddings(model, np.stack(features)))
-    return embeddings.mean(axis=0), len(features)
+    return outcome.values.mean(axis=0), outcome.num_ok
 
 
 def enroll_user(

@@ -112,7 +112,7 @@ class TwoBranchExtractor(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Person logits ``(B, num_classes)`` for training."""
         embedding = self.embed(x)
-        self._last_embedding = embedding
+        self._last_embedding = embedding if self.training else None
         return self.head(embedding)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

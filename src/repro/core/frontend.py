@@ -30,7 +30,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.gradients import resample_to_length, signal_gradients
+from repro.dsp.gradients import (
+    resample_to_length,
+    signal_gradients,
+    split_directions_batch,
+)
 from repro.errors import ConfigError, ShapeError
 from repro.types import NUM_AXES, ensure_signal_array
 
@@ -46,13 +50,20 @@ class FrontEnd:
     def transform(self, signal_array: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
-    def transform_batch(self, signal_arrays: np.ndarray) -> np.ndarray:
+    def _check_batch(self, signal_arrays: np.ndarray) -> np.ndarray:
         signal_arrays = np.asarray(signal_arrays, dtype=np.float64)
         if signal_arrays.ndim != 3:
             raise ShapeError("expected (B, 6, n)")
+        return signal_arrays
+
+    def _empty_batch(self, segment_length: int) -> np.ndarray:
+        return np.empty((0, 2, NUM_AXES, self.width(segment_length or 60)))
+
+    def transform_batch(self, signal_arrays: np.ndarray) -> np.ndarray:
+        """``(B, 6, n)`` to ``(B, 2, 6, W)``; loop fallback for subclasses."""
+        signal_arrays = self._check_batch(signal_arrays)
         if signal_arrays.shape[0] == 0:
-            width = self.width(signal_arrays.shape[2] or 60)
-            return np.empty((0, 2, NUM_AXES, width))
+            return self._empty_batch(signal_arrays.shape[2])
         return np.stack([self.transform(s) for s in signal_arrays])
 
 
@@ -79,6 +90,22 @@ class RectifiedSpectralFrontEnd(FrontEnd):
         centered = signal_array - signal_array.mean(axis=1, keepdims=True)
         stacked = np.stack([np.maximum(centered, 0.0), np.maximum(-centered, 0.0)])
         spectra = np.abs(np.fft.rfft(stacked, axis=2))
+        return spectra**self.power
+
+    def transform_batch(self, signal_arrays: np.ndarray) -> np.ndarray:
+        """Vectorised transform: one rectification + FFT over the stack.
+
+        Every step is elementwise or along the last axis, so each slice
+        equals :meth:`transform` of the corresponding signal array.
+        """
+        signal_arrays = self._check_batch(signal_arrays)
+        if signal_arrays.shape[0] == 0:
+            return self._empty_batch(signal_arrays.shape[2])
+        centered = signal_arrays - signal_arrays.mean(axis=2, keepdims=True)
+        stacked = np.stack(
+            [np.maximum(centered, 0.0), np.maximum(-centered, 0.0)], axis=1
+        )
+        spectra = np.abs(np.fft.rfft(stacked, axis=3))
         return spectra**self.power
 
 
@@ -114,6 +141,19 @@ class GradientFrontEnd(FrontEnd):
             out[0, axis] = resample_to_length(positive, width)
             out[1, axis] = resample_to_length(negative, width)
         return out
+
+    def transform_batch(self, signal_arrays: np.ndarray) -> np.ndarray:
+        """Vectorised sign-split: all ``B * 6`` axis rows in one pass."""
+        signal_arrays = self._check_batch(signal_arrays)
+        batch, axes, n = signal_arrays.shape
+        if batch == 0:
+            return self._empty_batch(n)
+        width = self.width(n)
+        grads = np.diff(signal_arrays, axis=2)
+        split = split_directions_batch(
+            grads.reshape(batch * axes, n - 1), width, order=self.order
+        )
+        return split.reshape(batch, axes, 2, width).transpose(0, 2, 1, 3)
 
 
 def make_frontend(kind: str) -> FrontEnd:

@@ -15,8 +15,14 @@ def extract_embeddings(
 ) -> np.ndarray:
     """MandiblePrint vectors for a batch of gradient arrays.
 
+    The forward passes run in eval mode (frozen BatchNorm statistics, no
+    activation caching); the model's previous training/eval state is
+    restored afterwards, so calling this mid-training — e.g. for a
+    validation EER — does not silently freeze BatchNorm updates for the
+    rest of the run.
+
     Args:
-        model: a trained extractor (switched to eval mode here).
+        model: a trained extractor.
         feature_arrays: ``(B, 2, 6, W)``.
         batch_size: forward-pass chunking.
 
@@ -29,10 +35,15 @@ def extract_embeddings(
         raise ShapeError("feature_arrays must be (B, 2, 6, W)")
     if batch_size <= 0:
         raise ShapeError("batch_size must be positive")
+    was_training = model.training
     model.eval()
-    chunks = []
-    for start in range(0, feature_arrays.shape[0], batch_size):
-        chunks.append(model.embed(feature_arrays[start : start + batch_size]))
+    try:
+        chunks = []
+        for start in range(0, feature_arrays.shape[0], batch_size):
+            chunks.append(model.embed(feature_arrays[start : start + batch_size]))
+    finally:
+        if was_training:
+            model.train()
     if not chunks:
         return np.empty((0, model.config.embedding_dim))
     return np.concatenate(chunks, axis=0)

@@ -44,6 +44,18 @@ def pairwise_cosine_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return 1.0 - cos
 
 
+def distances_to_template(probes: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Cosine distance of every probe row to one template, ``(B,)``.
+
+    The batched form of :func:`cosine_distance` used by the verify
+    engine: zero-norm probes (or a zero template) get the maximally
+    distant neutral value 1.0 and cosines are clipped to ``[-1, 1]``.
+    """
+    probes = np.atleast_2d(np.asarray(probes, dtype=np.float64))
+    template = np.asarray(template, dtype=np.float64).reshape(-1)
+    return pairwise_cosine_distance(probes, template[None, :])[:, 0]
+
+
 def accept(distance: float, threshold: float) -> bool:
     """The verification decision: accept iff ``distance <= threshold``."""
     return bool(distance <= threshold)

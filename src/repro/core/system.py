@@ -7,13 +7,16 @@ API of Fig. 3.  One instance models one earphone.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.config import MandiPassConfig, DEFAULT_CONFIG
+from repro.core.engine import InferenceEngine
 from repro.core.enrollment import enroll_user
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import make_frontend
-from repro.core.verification import verify_presented_vector, verify_recording
+from repro.core.verification import verify_batch, verify_presented_vector
 from repro.dsp.pipeline import Preprocessor
 from repro.errors import EnrollmentError, VerificationError
 from repro.security.cancelable import CancelableTransform
@@ -44,6 +47,7 @@ class MandiPass:
         self.config = config
         self.preprocessor = Preprocessor(config.preprocess)
         self.frontend = make_frontend(config.extractor.frontend)
+        self.engine = InferenceEngine(model, self.preprocessor, self.frontend)
         self.enclave = enclave or SecureEnclave()
         self._transforms: dict[str, CancelableTransform] = {}
 
@@ -83,17 +87,33 @@ class MandiPass:
     # ------------------------------------------------------------------
 
     def verify(self, user_id: str, recording: RawRecording) -> VerificationResult:
-        """Decide one verification request against a sealed template."""
+        """Decide one verification request against a sealed template.
+
+        Thin wrapper over :meth:`verify_many` with a batch of one.
+        """
+        return self.verify_many(user_id, [recording])[0]
+
+    def verify_many(
+        self, user_id: str, recordings: Sequence[RawRecording]
+    ) -> list[VerificationResult]:
+        """Decide a batch of requests against one sealed template.
+
+        The whole batch runs through the vectorised
+        :class:`repro.core.engine.InferenceEngine` — one preprocessing
+        pass, one front-end transform, one extractor forward — and
+        returns one :class:`VerificationResult` per recording in input
+        order.  Recordings without a usable vibration are rejected with
+        the maximum distance, exactly as :meth:`verify` would reject
+        them one at a time.
+        """
         transform = self._transforms.get(user_id)
         if transform is None:
             raise VerificationError(f"user {user_id!r} is not enrolled")
         record = self.enclave.unseal(user_id)
-        return verify_recording(
+        return verify_batch(
             user_id=user_id,
-            model=self.model,
-            preprocessor=self.preprocessor,
-            frontend=self.frontend,
-            recording=recording,
+            engine=self.engine,
+            recordings=recordings,
             template=np.asarray(record.template),
             transform=transform,
             threshold=self.config.decision.threshold,
@@ -125,15 +145,12 @@ class MandiPass:
         recording has no usable vibration.
         """
         from repro.core.similarity import accept, cosine_distance
-        from repro.core.verification import probe_embedding
         from repro.errors import SignalError
 
         if not self._transforms:
             return None
         try:
-            embedding = probe_embedding(
-                self.model, self.preprocessor, self.frontend, recording
-            )
+            embedding = self.engine.embed_one(recording)
         except SignalError:
             return None
         best: VerificationResult | None = None
@@ -173,12 +190,8 @@ class MandiPass:
         result = self.verify(user_id, recording)
         if not result.accepted:
             return False
-        from repro.core.verification import probe_embedding
-
         transform = self._transforms[user_id]
-        embedding = probe_embedding(
-            self.model, self.preprocessor, self.frontend, recording
-        )
+        embedding = self.engine.embed_one(recording)
         probe = transform.apply(embedding)
         record = self.enclave.unseal(user_id)
         updated = (1.0 - rate) * np.asarray(record.template) + rate * probe

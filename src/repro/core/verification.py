@@ -3,20 +3,28 @@
 A verification request is one recording: preprocess, extract the
 MandiblePrint, project with the user's Gaussian matrix, compare against
 the sealed template by cosine distance, accept iff within threshold.
+:func:`verify_batch` decides a whole stack of requests in one vectorised
+pass through the :class:`repro.core.engine.InferenceEngine`; the
+single-recording helpers delegate to the same engine.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.core.engine import InferenceEngine
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import FrontEnd
-from repro.core.mandibleprint import extract_embeddings
-from repro.core.similarity import accept, center_embedding, cosine_distance
+from repro.core.similarity import accept, cosine_distance, distances_to_template
 from repro.dsp.pipeline import Preprocessor
-from repro.errors import SignalError
 from repro.security.cancelable import CancelableTransform
 from repro.types import RawRecording, VerificationResult
+
+#: Distance reported for a request whose recording carried no usable
+#: vibration; maximal, so it can never be accepted.
+REJECTED_DISTANCE = 2.0
 
 
 def probe_embedding(
@@ -27,14 +35,48 @@ def probe_embedding(
 ) -> np.ndarray:
     """Extract one probe MandiblePrint.
 
+    Thin wrapper over :meth:`InferenceEngine.embed_one`.
+
     Raises:
         repro.errors.SignalError: (subclass) if the recording contains
             no usable vibration -- the request must be rejected, which
             :func:`verify_recording` translates into a refusal.
     """
-    signal_array = preprocessor.process(recording)
-    features = frontend.transform(signal_array)
-    return center_embedding(extract_embeddings(model, features[None, ...])[0])
+    return InferenceEngine(model, preprocessor, frontend).embed_one(recording)
+
+
+def verify_batch(
+    user_id: str,
+    engine: InferenceEngine,
+    recordings: Sequence[RawRecording],
+    template: np.ndarray,
+    transform: CancelableTransform,
+    threshold: float,
+) -> list[VerificationResult]:
+    """Decide a batch of verification requests in one vectorised pass.
+
+    Item-for-item this mirrors :func:`verify_recording`: a recording
+    without a detectable vibration (e.g. a zero-effort attack) is
+    rejected with the maximum distance rather than raising — one bad
+    recording never poisons the rest of the batch.  Results come back in
+    input order, one per recording.
+    """
+    outcome = engine.embed(recordings)
+    distances = np.full(outcome.batch_size, REJECTED_DISTANCE)
+    if outcome.num_ok:
+        probes = transform.apply(outcome.values)
+        distances[np.asarray(outcome.indices, dtype=np.int64)] = (
+            distances_to_template(probes, np.asarray(template, dtype=np.float64))
+        )
+    return [
+        VerificationResult(
+            accepted=accept(float(d), threshold),
+            distance=float(d),
+            threshold=threshold,
+            user_id=user_id,
+        )
+        for d in distances
+    ]
 
 
 def verify_recording(
@@ -49,24 +91,13 @@ def verify_recording(
 ) -> VerificationResult:
     """Decide one verification request.
 
-    A recording without a detectable vibration (e.g. a zero-effort
-    attack) is rejected with the maximum distance rather than raising:
-    from the system's point of view it is simply a failed attempt.
+    Thin wrapper over :func:`verify_batch` with a batch of one; kept so
+    deployment code that authenticates a single tap stays one call.
     """
-    try:
-        embedding = probe_embedding(model, preprocessor, frontend, recording)
-    except SignalError:
-        return VerificationResult(
-            accepted=False, distance=2.0, threshold=threshold, user_id=user_id
-        )
-    probe = transform.apply(embedding)
-    distance = cosine_distance(probe, template)
-    return VerificationResult(
-        accepted=accept(distance, threshold),
-        distance=distance,
-        threshold=threshold,
-        user_id=user_id,
-    )
+    engine = InferenceEngine(model, preprocessor, frontend)
+    return verify_batch(
+        user_id, engine, [recording], template, transform, threshold
+    )[0]
 
 
 def verify_presented_vector(

@@ -31,8 +31,29 @@ from repro.errors import OnsetNotFoundError, ShapeError
 from repro.types import ACCEL_AXES, ensure_raw_recording
 
 
+def _detection_sos(
+    config: PreprocessConfig, sos: np.ndarray | None = None
+) -> np.ndarray:
+    """The high-pass sections used for detection (design once, reuse)."""
+    from repro.dsp.filters import design_highpass
+
+    if sos is not None:
+        return sos
+    return design_highpass(
+        config.highpass_order, config.highpass_cutoff_hz, config.sample_rate_hz
+    )
+
+
+def _detection_pad(config: PreprocessConfig) -> int:
+    return max(
+        int(round(4.0 * config.sample_rate_hz / config.highpass_cutoff_hz)), 8
+    )
+
+
 def _detection_signal(
-    recording: np.ndarray, config: PreprocessConfig
+    recording: np.ndarray,
+    config: PreprocessConfig,
+    sos: np.ndarray | None = None,
 ) -> np.ndarray:
     """High-passed accelerometer block ``(n, 3)`` used for detection.
 
@@ -41,18 +62,48 @@ def _detection_signal(
     transient of the high-pass looks like a huge vibration at t = 0 and
     the std rule triggers immediately.
     """
-    from repro.dsp.filters import design_highpass, sosfilt
+    from repro.dsp.filters import sosfilt
 
     recording = ensure_raw_recording(recording)
-    sos = design_highpass(
-        config.highpass_order, config.highpass_cutoff_hz, config.sample_rate_hz
-    )
     block = recording[:, list(ACCEL_AXES)]
-    pad = max(
-        int(round(4.0 * config.sample_rate_hz / config.highpass_cutoff_hz)), 8
-    )
+    pad = _detection_pad(config)
     padded = np.concatenate([np.repeat(block[:1], pad, axis=0), block])
-    return sosfilt(sos, padded.T).T[pad:]
+    return sosfilt(_detection_sos(config, sos), padded.T).T[pad:]
+
+
+def detection_signals_batch(
+    recordings: np.ndarray,
+    config: PreprocessConfig,
+    sos: np.ndarray | None = None,
+) -> np.ndarray:
+    """Detection signals for a rectangular ``(B, n, 6)`` batch at once.
+
+    One biquad pass filters every recording's accelerometer block
+    simultaneously; each slice ``[b]`` equals
+    ``_detection_signal(recordings[b], config)`` because the filter
+    recursion is elementwise over the batch dimension.
+    """
+    from repro.dsp.filters import sosfilt
+
+    recordings = np.asarray(recordings, dtype=np.float64)
+    if recordings.ndim != 3 or recordings.shape[2] != 6:
+        raise ShapeError(f"expected (B, n, 6), got {recordings.shape}")
+    block = recordings[:, :, list(ACCEL_AXES)]
+    pad = _detection_pad(config)
+    padded = np.concatenate(
+        [np.repeat(block[:, :1], pad, axis=1), block], axis=1
+    )
+    # (B, n + pad, 3) -> (B, 3, n + pad): filter along time, per item.
+    filtered = sosfilt(_detection_sos(config, sos), padded.transpose(0, 2, 1))
+    return filtered.transpose(0, 2, 1)[:, pad:]
+
+
+def _metric_from_detection(detection: np.ndarray, window: int) -> np.ndarray:
+    """Per-window detection metric from a precomputed detection signal."""
+    stds = [window_std(detection[:, axis], window) for axis in range(3)]
+    if any(s.size == 0 for s in stds):
+        return np.empty(0)
+    return np.max(np.stack(stds, axis=0), axis=0)
 
 
 def onset_metric(
@@ -62,35 +113,31 @@ def onset_metric(
 ) -> np.ndarray:
     """Per-window detection metric: max high-passed accel std across axes."""
     config = config or PreprocessConfig(onset_window=window)
-    detection = _detection_signal(recording, config)
-    stds = [window_std(detection[:, axis], window) for axis in range(3)]
-    if any(s.size == 0 for s in stds):
-        return np.empty(0)
-    return np.max(np.stack(stds, axis=0), axis=0)
+    return _metric_from_detection(_detection_signal(recording, config), window)
 
 
-def detect_onset(
-    recording: np.ndarray, config: PreprocessConfig | None = None
+def detect_onset_from_signal(
+    detection: np.ndarray, config: PreprocessConfig | None = None
 ) -> int:
-    """Find the start sample of the vibration event.
+    """The paper's std rule on an already high-passed ``(n, 3)`` block.
 
-    Args:
-        recording: raw ``(n, 6)`` counts.
-        config: thresholds; defaults to the paper's values.
-
-    Returns:
-        The sample index of the first value of the triggering window.
+    The batch pipeline filters a whole ``(B, n, 6)`` stack in one pass
+    (:func:`detection_signals_batch`) and then applies this rule per
+    item, so the expensive recursion is shared while every recording
+    still gets its own onset.
 
     Raises:
         repro.errors.OnsetNotFoundError: if no window satisfies the rule.
     """
     config = config or PreprocessConfig()
-    metric = onset_metric(recording, config.onset_window, config)
+    detection = np.asarray(detection, dtype=np.float64)
+    if detection.ndim != 2 or detection.shape[1] != 3:
+        raise ShapeError(f"detection signal must be (n, 3), got {detection.shape}")
+    metric = _metric_from_detection(detection, config.onset_window)
     if metric.size == 0:
         raise OnsetNotFoundError("recording shorter than one window")
-    recording = ensure_raw_recording(recording)
     starts = window_start_indices(
-        recording.shape[0], config.onset_window, config.onset_window
+        detection.shape[0], config.onset_window, config.onset_window
     )
     sustain = config.onset_sustain_windows
     for idx in range(metric.size):
@@ -101,13 +148,38 @@ def detect_onset(
             # Not enough future windows to confirm the sustain rule.
             continue
         if np.all(tail >= config.onset_std_sustain):
-            detection = _detection_signal(recording, config)
             return _refine_onset(detection, int(starts[idx]), config)
     raise OnsetNotFoundError(
         "no window exceeded "
         f"{config.onset_std_start} with {sustain} sustained windows "
         f">= {config.onset_std_sustain}"
     )
+
+
+def detect_onset(
+    recording: np.ndarray,
+    config: PreprocessConfig | None = None,
+    sos: np.ndarray | None = None,
+) -> int:
+    """Find the start sample of the vibration event.
+
+    Args:
+        recording: raw ``(n, 6)`` counts.
+        config: thresholds; defaults to the paper's values.
+        sos: optional pre-designed detection high-pass sections (the
+            pipeline passes its own so the design step is not repeated
+            per recording).
+
+    Returns:
+        The sample index of the first value of the triggering window.
+
+    Raises:
+        repro.errors.OnsetNotFoundError: if no window satisfies the rule.
+    """
+    config = config or PreprocessConfig()
+    recording = ensure_raw_recording(recording)
+    detection = _detection_signal(recording, config, sos)
+    return detect_onset_from_signal(detection, config)
 
 
 def _refine_onset(

@@ -51,6 +51,32 @@ def mad_outlier_mask(values: np.ndarray, threshold: float = 3.5) -> np.ndarray:
     return modified_z > threshold
 
 
+def mad_outlier_mask_batch(
+    values: np.ndarray, threshold: float = 3.5
+) -> np.ndarray:
+    """Row-wise outlier masks over the last axis of an ``(..., n)`` stack.
+
+    Vectorised form of :func:`mad_outlier_mask`: the median, MAD and
+    modified z-score are computed along the last axis for every row at
+    once, so a whole ``(B, 6, n)`` segment batch needs two medians
+    instead of ``6 B``.  Per row the result is identical to the scalar
+    helper.
+    """
+    if threshold <= 0:
+        raise ConfigError("threshold must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim < 1:
+        raise ShapeError("mad_outlier_mask_batch() expects at least 1-D")
+    if values.shape[-1] == 0:
+        return np.zeros(values.shape, dtype=bool)
+    median = np.median(values, axis=-1, keepdims=True)
+    deviation = np.abs(values - median)
+    spread = np.median(deviation, axis=-1, keepdims=True)
+    zero_spread = spread == 0.0
+    modified_z = _MAD_TO_SIGMA * deviation / np.where(zero_spread, 1.0, spread)
+    return np.where(zero_spread, deviation > 0.0, modified_z > threshold)
+
+
 def replace_outliers(
     values: np.ndarray,
     mask: np.ndarray | None = None,
@@ -99,4 +125,38 @@ def replace_outliers(
         after = normal_idx[pos : pos + neighbors]
         pool = np.concatenate([before, after])
         out[idx] = float(values[pool].mean())
+    return out
+
+
+def replace_outliers_batch(
+    values: np.ndarray,
+    threshold: float = 3.5,
+    neighbors: int = 2,
+) -> np.ndarray:
+    """Batched :func:`replace_outliers` over the last axis.
+
+    The MAD masks for every row come from one vectorised pass; the
+    replacement scan then runs only on the (typically few) rows that
+    actually contain outliers, each producing exactly what the scalar
+    helper would.  Rows that are entirely outliers are left unchanged,
+    like the scalar path.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim < 1:
+        raise ShapeError("replace_outliers_batch() expects at least 1-D")
+    if neighbors <= 0:
+        raise ConfigError("neighbors must be positive")
+    masks = mad_outlier_mask_batch(values, threshold)
+    out = values.copy()
+    if values.ndim == 1:
+        return replace_outliers(values, mask=masks, neighbors=neighbors)
+    n = values.shape[-1]
+    flat_values = out.reshape(-1, n)
+    flat_masks = masks.reshape(-1, n)
+    any_outlier = flat_masks.any(axis=1)
+    all_outlier = flat_masks.all(axis=1)
+    for row in np.flatnonzero(any_outlier & ~all_outlier):
+        flat_values[row] = replace_outliers(
+            flat_values[row], mask=flat_masks[row], neighbors=neighbors
+        )
     return out

@@ -14,11 +14,19 @@ import dataclasses
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.config import PreprocessConfig
-from repro.dsp.detection import detect_onset, segment_after_onset
+from repro.dsp.detection import (
+    detect_onset,
+    detect_onset_from_signal,
+    detection_signals_batch,
+    segment_after_onset,
+)
 from repro.dsp.filters import design_highpass, sosfilt
 from repro.dsp.normalize import min_max_normalize
-from repro.dsp.outliers import replace_outliers
+from repro.dsp.outliers import replace_outliers, replace_outliers_batch
+from repro.errors import OnsetNotFoundError, SignalError
 from repro.types import NUM_AXES, RawRecording, SignalArray
 
 
@@ -92,20 +100,87 @@ class Preprocessor:
             normalized=normalized,
         )
 
-    def process_batch(self, recordings: np.ndarray) -> np.ndarray:
+    def process_batch(self, recordings: Sequence[RawRecording]) -> np.ndarray:
         """Process ``(B, n, 6)`` recordings into ``(B, 6, seg_len)``.
 
         Recordings whose onset cannot be found are dropped; the caller
         can compare input and output batch sizes to count rejections.
+        Use :meth:`process_batch_detailed` (or the
+        :class:`repro.core.engine.InferenceEngine` facade) to learn
+        *which* recordings failed and why.
         """
-        from repro.errors import OnsetNotFoundError, SignalError
+        signals, _, _ = self.process_batch_detailed(recordings)
+        return signals
 
-        out = []
-        for recording in recordings:
+    def process_batch_detailed(
+        self, recordings: Sequence[RawRecording]
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[int, SignalError]]]:
+        """Vectorised batch pipeline with per-item failure bookkeeping.
+
+        Onset detection is decided per recording (each has its own
+        event), but every dense stage — the detection high-pass, outlier
+        replacement, segment filtering and normalisation — runs once
+        over the stacked ``(B, 6, n)`` array.  Per item the output is
+        numerically identical to :meth:`process`.
+
+        Args:
+            recordings: a ``(B, n, 6)`` array or a sequence of
+                ``(n_i, 6)`` recordings (lengths may differ).
+
+        Returns:
+            ``(signals, indices, failures)``: signals is the
+            ``(K, 6, seg_len)`` stack of successes, indices the
+            input-order position of each success, and failures a list of
+            ``(index, exception)`` pairs sorted by index.
+        """
+        cfg = self.config
+        items = [np.asarray(r, dtype=np.float64) for r in recordings]
+        failures: list[tuple[int, SignalError]] = []
+        segments: list[np.ndarray] = []
+        indices: list[int] = []
+
+        rectangular = (
+            len(items) > 0
+            and all(it.ndim == 2 and it.shape[1] == NUM_AXES for it in items)
+            and len({it.shape[0] for it in items}) == 1
+        )
+        detections = (
+            detection_signals_batch(np.stack(items), cfg, sos=self._sos)
+            if rectangular
+            else None
+        )
+        for idx, item in enumerate(items):
             try:
-                out.append(self.process(recording))
-            except SignalError:
-                continue
-        if not out:
-            return np.empty((0, NUM_AXES, self.config.segment_length))
-        return np.stack(out)
+                if detections is not None:
+                    onset = detect_onset_from_signal(detections[idx], cfg)
+                else:
+                    onset = detect_onset(item, cfg, sos=self._sos)
+                segments.append(segment_after_onset(item, onset, cfg.segment_length))
+                indices.append(idx)
+            except SignalError as exc:
+                failures.append((idx, exc))
+
+        empty = np.empty((0, NUM_AXES, cfg.segment_length))
+        if not segments:
+            return empty, np.empty(0, dtype=np.int64), failures
+
+        stacked = np.stack(segments)
+        despiked = replace_outliers_batch(stacked, threshold=cfg.mad_threshold)
+        filtered = sosfilt(self._sos, despiked)
+        # Same quality gate as process_debug, vectorised across items.
+        sustained = filtered.std(axis=2).max(axis=1) >= cfg.min_segment_std
+        for local in np.flatnonzero(~sustained):
+            failures.append(
+                (
+                    indices[local],
+                    OnsetNotFoundError(
+                        "segment carries no sustained vibration after despiking"
+                    ),
+                )
+            )
+        failures.sort(key=lambda pair: pair[0])
+        if not sustained.any():
+            return empty, np.empty(0, dtype=np.int64), failures
+        normalized = min_max_normalize(filtered[sustained], axis=-1)
+        kept = np.asarray(indices, dtype=np.int64)[sustained]
+        return normalized, kept, failures

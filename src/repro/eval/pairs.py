@@ -8,10 +8,16 @@ impostor side deterministically.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
-from repro.core.similarity import pairwise_cosine_distance
+from repro.core.similarity import distances_to_template, pairwise_cosine_distance
 from repro.errors import ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.engine import InferenceEngine
+    from repro.types import RawRecording
 
 
 def genuine_impostor_distances(
@@ -89,3 +95,26 @@ def probe_template_distances(
     one_hot = np.zeros_like(distances, dtype=bool)
     one_hot[np.arange(distances.shape[0]), probe_labels] = True
     return distances[one_hot], distances[~one_hot]
+
+
+def recording_template_distances(
+    engine: "InferenceEngine",
+    recordings: Sequence["RawRecording"],
+    template: np.ndarray,
+) -> np.ndarray:
+    """Distances of raw recordings to one enrolled template, ``(B,)``.
+
+    Runs the whole batch through the vectorised inference engine;
+    recordings without a usable vibration come back with the maximal
+    rejection distance (2.0) at their input position, so the output
+    always aligns one-to-one with the input batch.
+    """
+    from repro.core.verification import REJECTED_DISTANCE
+
+    outcome = engine.embed(recordings)
+    distances = np.full(outcome.batch_size, REJECTED_DISTANCE)
+    if outcome.num_ok:
+        distances[np.asarray(outcome.indices, dtype=np.int64)] = (
+            distances_to_template(outcome.values, np.asarray(template))
+        )
+    return distances

@@ -15,9 +15,8 @@ import dataclasses
 import numpy as np
 
 from repro.config import ExtractorConfig, TrainingConfig
+from repro.core.engine import InferenceEngine
 from repro.core.extractor import TwoBranchExtractor
-from repro.core.mandibleprint import extract_embeddings
-from repro.core.similarity import center_embedding
 from repro.core.training import train_extractor
 from repro.datasets.splits import leave_one_person_out
 from repro.datasets.synth import SynthDataset
@@ -75,7 +74,7 @@ def run_embedding_protocol(
             extractor_config=extractor_config,
             training_config=training_config,
         )
-    embeddings = center_embedding(extract_embeddings(model, eval_dataset.features))
+    embeddings = InferenceEngine(model).embed_features(eval_dataset.features)
     if transform is not None:
         embeddings = transform.apply(embeddings)
     genuine, impostor = genuine_impostor_distances(
@@ -124,7 +123,7 @@ def run_leave_one_out_protocol(
             training_config=training_config,
         )
         last_model = model
-        emb = center_embedding(extract_embeddings(model, dataset.features[target_mask]))
+        emb = InferenceEngine(model).embed_features(dataset.features[target_mask])
         all_embeddings.append(emb)
         all_labels.append(labels[target_mask])
     embeddings = np.concatenate(all_embeddings)

@@ -5,6 +5,13 @@ backward needs, ``backward`` consumes the upstream gradient and both
 accumulates parameter gradients and returns the input gradient.  Layers
 are stateful between a forward and its matching backward, exactly like
 a define-by-run framework in training mode.
+
+In eval mode, forward skips the activation caching entirely — the
+inference engine runs eval-mode forwards only, and retaining im2col
+buffers and masks for a backward that never comes costs both time and
+memory.  A ``backward`` after an eval-mode forward therefore raises
+:class:`repro.errors.ModelError`, the same as a backward with no
+forward at all.
 """
 
 from __future__ import annotations
@@ -176,7 +183,7 @@ class Conv2d(Module):
         out_w = F.conv_output_size(
             x.shape[3], self.kernel_size[1], self.stride[1], self.padding[1]
         )
-        self._cache = (x.shape, cols)
+        self._cache = (x.shape, cols) if self.training else None
         return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -236,7 +243,7 @@ class BatchNorm2d(Module):
             self.gamma.data[None, :, None, None] * x_hat
             + self.beta.data[None, :, None, None]
         )
-        self._cache = (x_hat, std)
+        self._cache = (x_hat, std) if self.training else None
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -265,7 +272,7 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0.0
+        self._mask = (x > 0.0) if self.training else None
         return np.maximum(x, 0.0)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -282,8 +289,9 @@ class Sigmoid(Module):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = F.sigmoid(x)
-        return self._out
+        out = F.sigmoid(x)
+        self._out = out if self.training else None
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._out is None:
@@ -299,7 +307,7 @@ class Flatten(Module):
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._shape = x.shape
+        self._shape = x.shape if self.training else None
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -337,7 +345,7 @@ class Linear(Module):
             raise ShapeError(
                 f"Linear expected (B, {self.in_features}), got {x.shape}"
             )
-        self._input = x
+        self._input = x if self.training else None
         return x @ self.weight.data.T + self.bias.data
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
