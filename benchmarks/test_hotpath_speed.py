@@ -1,0 +1,320 @@
+"""Hot-path speed: strided im2col + float32 forward, one-matmul identify.
+
+Two comparisons, each against a faithful reconstruction of the seed
+implementation (kept verbatim in this file, monkeypatched in for the
+baseline timing):
+
+* extractor forward at B=64 — seed kh*kw slice-copy ``im2col`` +
+  einsum Conv2d + unfused eval BatchNorm + fancy-indexing sigmoid, all
+  in float64, versus the strided/workspace float32 path.  Bar: >= 2x.
+* 1:N identify scoring — the historical per-user Python loop (unseal,
+  project, cosine) versus one ``TemplateGallery`` pass.  Bar: >= 5x at
+  100 enrolled users.
+
+Results land in ``BENCH_hotpath.json`` at the repo root.  Set
+``HOTPATH_QUICK=1`` (CI smoke) to shrink the gallery to 100 users and
+halve the timing repeats; the full run also measures U=1000.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ExtractorConfig,
+    InferenceConfig,
+    MandiPassConfig,
+    SecurityConfig,
+)
+from repro.core.gallery import TemplateGallery
+from repro.core.similarity import cosine_distance
+from repro.core.system import MandiPass
+from repro.datasets.standard import hired_spec
+from repro.imu import Recorder
+from repro.nn import functional as F
+from repro.nn import layers
+from repro.physio import sample_population
+from repro.security.cancelable import CancelableTransform
+
+from conftest import once, train_sweep_model
+
+QUICK = os.environ.get("HOTPATH_QUICK", "") == "1"
+BATCH = 64
+REPEATS = 3 if QUICK else 5
+GALLERY_SIZES = (100,) if QUICK else (100, 1000)
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data["quick"] = QUICK
+    data[section] = payload
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _best_of(repeats, func):
+    best, result = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# -- the seed implementations, kept verbatim as the baseline ------------
+
+
+def _seed_im2col(x, kernel, stride, pad, *, reuse=False):
+    del reuse  # the seed had no workspaces
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+    batch, channels, height, width = x.shape
+    out_h = F.conv_output_size(height, kh, sh, ph)
+    out_w = F.conv_output_size(width, kw, sw, pw)
+    padded = F.pad2d(x, ph, pw)
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    return cols.reshape(batch, channels * kh * kw, out_h * out_w)
+
+
+def _seed_conv_forward(self, x):
+    cols = _seed_im2col(x, self.kernel_size, self.stride, self.padding)
+    w_mat = self.weight.data.reshape(self.out_channels, -1)
+    out = np.einsum("fk,bkl->bfl", w_mat, cols) + self.bias.data[None, :, None]
+    out_h = F.conv_output_size(
+        x.shape[2], self.kernel_size[0], self.stride[0], self.padding[0]
+    )
+    out_w = F.conv_output_size(
+        x.shape[3], self.kernel_size[1], self.stride[1], self.padding[1]
+    )
+    self._cache = (x.shape, cols)
+    return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+
+def _seed_bn_forward(self, x):
+    if self.training:
+        raise RuntimeError("baseline bench only runs in eval mode")
+    mean = self.running_mean
+    var = self.running_var
+    std = np.sqrt(var + self.eps)
+    x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
+    out = (
+        self.gamma.data[None, :, None, None] * x_hat
+        + self.beta.data[None, :, None, None]
+    )
+    self._cache = (x_hat, std)
+    return out
+
+
+def _seed_sigmoid(x):
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+@contextlib.contextmanager
+def _seed_hot_path():
+    """Swap the forward hot path back to the seed implementations."""
+    saved = (layers.Conv2d.forward, layers.BatchNorm2d.forward, F.sigmoid)
+    layers.Conv2d.forward = _seed_conv_forward
+    layers.BatchNorm2d.forward = _seed_bn_forward
+    F.sigmoid = _seed_sigmoid
+    try:
+        yield
+    finally:
+        layers.Conv2d.forward, layers.BatchNorm2d.forward, F.sigmoid = saved
+
+
+# -- fixtures -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sweep_model(cache):
+    config = ExtractorConfig(embedding_dim=64, channels=(4, 8, 16))
+    model = train_sweep_model(cache, extractor_config=config, epochs=6)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def feature_batch(cache):
+    corpus = cache.get(hired_spec(num_people=24, trials_per_person=10))
+    return np.ascontiguousarray(corpus.features[:BATCH], dtype=np.float64)
+
+
+# -- extractor forward: strided float32 vs seed float64 loop ------------
+
+
+def test_forward_strided_float32_speedup(benchmark, sweep_model, feature_batch):
+    model = sweep_model
+    feats64 = feature_batch
+    feats32 = feats64.astype(np.float32)
+
+    with _seed_hot_path():
+        seed_time, seed_out = _best_of(REPEATS, lambda: model.embed(feats64))
+    f64_time, f64_out = _best_of(REPEATS, lambda: model.embed(feats64))
+    f32_time, f32_out = _best_of(REPEATS, lambda: model.embed(feats32))
+    once(benchmark, lambda: model.embed(feats32))
+    single_time, _ = _best_of(REPEATS, lambda: model.embed(feats32[:1]))
+
+    # The fast path must agree with the seed forward, not just beat it.
+    np.testing.assert_allclose(f64_out, seed_out, rtol=1e-10, atol=1e-12)
+    np.testing.assert_allclose(f32_out, seed_out, atol=1e-4)
+    assert f32_out.dtype == np.float32
+
+    speedup = seed_time / f32_time
+    print()
+    print(
+        f"forward B={BATCH}: seed float64 {seed_time * 1e3:.1f} ms, "
+        f"strided float64 {f64_time * 1e3:.1f} ms, "
+        f"strided float32 {f32_time * 1e3:.1f} ms ({speedup:.1f}x vs seed)"
+    )
+    _record(
+        "forward",
+        {
+            "batch": BATCH,
+            "seed_float64_ms": seed_time * 1e3,
+            "strided_float64_ms": f64_time * 1e3,
+            "strided_float32_ms": f32_time * 1e3,
+            "speedup_float32_vs_seed": speedup,
+            "single_probe_ms": single_time * 1e3,
+            "batch_throughput_per_s": BATCH / f32_time,
+        },
+    )
+    assert speedup >= 2.0
+
+
+# -- identify: per-user loop vs one gallery pass ------------------------
+
+
+def _loop_identify(transforms, templates, embedding):
+    """The seed ``MandiPass.identify`` inner loop, verbatim semantics."""
+    best_user, best_distance = None, np.inf
+    for user_id, transform in transforms.items():
+        probe = transform.apply(embedding)
+        distance = cosine_distance(probe, templates[user_id])
+        if distance < best_distance:
+            best_user, best_distance = user_id, distance
+    return best_user, best_distance
+
+
+def test_identify_gallery_speedup(benchmark):
+    rng = np.random.default_rng(42)
+    dim = 64
+    probes = rng.normal(size=(8, dim))
+    payload = {}
+    for num_users in GALLERY_SIZES:
+        transforms = {
+            f"user{u:04d}": CancelableTransform(dim, seed=u) for u in range(num_users)
+        }
+        templates = {
+            uid: t.apply(rng.normal(size=dim)) for uid, t in transforms.items()
+        }
+        build_start = time.perf_counter()
+        gallery = TemplateGallery(
+            user_ids=list(transforms),
+            matrices=[t.matrix for t in transforms.values()],
+            templates=[templates[uid] for uid in transforms],
+        )
+        build_ms = (time.perf_counter() - build_start) * 1e3
+
+        loop_time, _ = _best_of(
+            REPEATS,
+            lambda: [_loop_identify(transforms, templates, p) for p in probes],
+        )
+        if num_users == GALLERY_SIZES[0]:
+            once(benchmark, lambda: gallery.distances_batch(probes))
+        gal_time, distances = _best_of(
+            REPEATS, lambda: gallery.distances_batch(probes)
+        )
+
+        # Same winner and same distance, probe for probe.
+        for row, probe in enumerate(probes):
+            loop_user, loop_distance = _loop_identify(transforms, templates, probe)
+            column = int(np.argmin(distances[row]))
+            assert gallery.user_ids[column] == loop_user
+            assert distances[row, column] == pytest.approx(loop_distance, abs=1e-9)
+
+        speedup = loop_time / gal_time
+        print()
+        print(
+            f"identify U={num_users} (8 probes): loop {loop_time * 1e3:.1f} ms, "
+            f"gallery {gal_time * 1e3:.2f} ms ({speedup:.0f}x), "
+            f"build {build_ms:.1f} ms"
+        )
+        payload[str(num_users)] = {
+            "probes": len(probes),
+            "loop_ms": loop_time * 1e3,
+            "gallery_ms": gal_time * 1e3,
+            "gallery_build_ms": build_ms,
+            "speedup": speedup,
+        }
+        if num_users == 100:
+            assert speedup >= 5.0
+    _record("identify", payload)
+
+
+# -- float32 vs float64 decision parity on a live device ----------------
+
+
+def test_dtype_decision_parity(benchmark, sweep_model):
+    population = sample_population(6, 1, seed=5)
+    recorder = Recorder(seed=9)
+    devices = {}
+    for dtype in ("float64", "float32"):
+        config = MandiPassConfig(
+            extractor=sweep_model.config,
+            security=SecurityConfig(template_dim=64, projected_dim=64, matrix_seed=3),
+            inference=InferenceConfig(compute_dtype=dtype),
+        )
+        device = MandiPass(sweep_model, config=config)
+        device.enroll(
+            "parity",
+            [recorder.record(population[0], trial_index=i) for i in range(5)],
+        )
+        devices[dtype] = device
+
+    queue = [np.zeros((210, 6))] + [
+        recorder.record(population[i % len(population)], trial_index=40 + i)
+        for i in range(31)
+    ]
+    res64 = devices["float64"].verify_many("parity", queue)
+    res32 = once(benchmark, lambda: devices["float32"].verify_many("parity", queue))
+
+    decisions64 = [r.accepted for r in res64]
+    decisions32 = [r.accepted for r in res32]
+    max_delta = max(abs(a.distance - b.distance) for a, b in zip(res64, res32))
+    print()
+    print(
+        f"parity B={len(queue)}: decisions match={decisions64 == decisions32}, "
+        f"max |d64 - d32| = {max_delta:.2e}"
+    )
+    _record(
+        "parity",
+        {
+            "batch": len(queue),
+            "decisions_match": decisions64 == decisions32,
+            "accepted": int(sum(decisions64)),
+            "rejected": int(len(queue) - sum(decisions64)),
+            "max_distance_delta": max_delta,
+        },
+    )
+    assert decisions64 == decisions32
+    assert {True, False} <= set(decisions64)

@@ -145,6 +145,31 @@ class TrainingConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class InferenceConfig:
+    """Deployment-side compute policy for the verify/identify hot path.
+
+    Attributes:
+        compute_dtype: dtype the extractor forward runs in at inference.
+            Training and gradient checking always use float64; float32
+            is the opt-in fast path (roughly half the memory traffic and
+            twice the BLAS throughput), with embedding drift bounded by
+            the parity tests and decisions computed in float64 either
+            way.
+        batch_size: forward-pass chunking of the inference engine.
+    """
+
+    compute_dtype: str = "float64"
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        _require(
+            self.compute_dtype in ("float32", "float64"),
+            "compute_dtype must be 'float32' or 'float64'",
+        )
+        _require(self.batch_size > 0, "batch_size must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
 class SecurityConfig:
     """Cancelable-template parameters (Section VI)."""
 
@@ -183,6 +208,7 @@ class MandiPassConfig:
     training: TrainingConfig = dataclasses.field(default_factory=TrainingConfig)
     security: SecurityConfig = dataclasses.field(default_factory=SecurityConfig)
     decision: DecisionConfig = dataclasses.field(default_factory=DecisionConfig)
+    inference: InferenceConfig = dataclasses.field(default_factory=InferenceConfig)
 
     def __post_init__(self) -> None:
         _require(

@@ -8,10 +8,12 @@ MandiPass authentication system.
 * :mod:`repro.core.enrollment` / :mod:`repro.core.verification` -- the
   two phases of Fig. 3,
 * :mod:`repro.core.engine` -- the batch-first inference engine,
+* :mod:`repro.core.gallery` -- one-matmul 1:N template scoring,
 * :mod:`repro.core.system` -- the ``MandiPass`` facade.
 """
 
 from repro.core.engine import BatchItemFailure, BatchOutcome, InferenceEngine
+from repro.core.gallery import TemplateGallery
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import (
     FrontEnd,
@@ -38,6 +40,7 @@ __all__ = [
     "InferenceEngine",
     "MandiPass",
     "RectifiedSpectralFrontEnd",
+    "TemplateGallery",
     "fuse_majority",
     "fuse_mean_distance",
     "fuse_min_distance",

@@ -123,6 +123,12 @@ class InferenceEngine:
             feature-level entry points (:meth:`embed_features`) are used.
         frontend: direction-splitting front end; optional likewise.
         batch_size: forward-pass chunking for the extractor.
+        compute_dtype: dtype the extractor forward runs in.  ``float64``
+            (the default) is bit-compatible with training; ``float32``
+            is the opt-in inference fast path — roughly half the memory
+            traffic and double the BLAS throughput, with embedding drift
+            bounded by the parity tests.  Distances and decisions are
+            computed in float64 regardless.
     """
 
     def __init__(
@@ -131,13 +137,18 @@ class InferenceEngine:
         preprocessor: Preprocessor | None = None,
         frontend: FrontEnd | None = None,
         batch_size: int = 256,
+        compute_dtype: np.dtype | str = "float64",
     ) -> None:
         if batch_size <= 0:
             raise ConfigError("batch_size must be positive")
+        compute_dtype = np.dtype(compute_dtype)
+        if compute_dtype not in (np.float32, np.float64):
+            raise ConfigError("compute_dtype must be float32 or float64")
         self.model = model
         self.preprocessor = preprocessor
         self.frontend = frontend
         self.batch_size = batch_size
+        self.compute_dtype = compute_dtype
 
     # -- stage entry points ---------------------------------------------
 
@@ -166,9 +177,19 @@ class InferenceEngine:
         return frontend.transform_batch(signal_arrays)
 
     def embed_features(self, feature_arrays: np.ndarray) -> np.ndarray:
-        """Centred MandiblePrints ``(K, d)`` for stacked feature arrays."""
+        """Centred MandiblePrints ``(K, d)`` for stacked feature arrays.
+
+        The extractor forward runs in the engine's compute dtype; the
+        centring upcasts to float64, so everything downstream (cosine
+        distances, decisions) is float64 either way.
+        """
         return center_embedding(
-            extract_embeddings(self.model, feature_arrays, batch_size=self.batch_size)
+            extract_embeddings(
+                self.model,
+                feature_arrays,
+                batch_size=self.batch_size,
+                dtype=self.compute_dtype,
+            )
         )
 
     # -- end-to-end -----------------------------------------------------

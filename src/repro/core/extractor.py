@@ -92,7 +92,13 @@ class TwoBranchExtractor(Module):
     # ------------------------------------------------------------------
 
     def _check_input(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        # Compute-dtype policy: training (and any non-float input) runs
+        # in float64; an eval-mode float32 batch stays float32 through
+        # the whole forward (the layers cache per-dtype parameter
+        # casts), which is the inference engine's opt-in fast path.
+        x = np.asarray(x)
+        if self.training or x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64, copy=False)
         expected = (2, self.config.num_axes, self.config.input_width)
         if x.ndim != 4 or x.shape[1:] != expected:
             raise ShapeError(

@@ -12,6 +12,7 @@ def extract_embeddings(
     model: TwoBranchExtractor,
     feature_arrays: np.ndarray,
     batch_size: int = 256,
+    dtype: np.dtype | str = np.float64,
 ) -> np.ndarray:
     """MandiblePrint vectors for a batch of gradient arrays.
 
@@ -25,12 +26,18 @@ def extract_embeddings(
         model: a trained extractor.
         feature_arrays: ``(B, 2, 6, W)``.
         batch_size: forward-pass chunking.
+        dtype: compute dtype of the forward (the eval-mode extractor
+            follows its input dtype); float64 by default, float32 for
+            the opt-in inference fast path.
 
     Returns:
-        ``(B, embedding_dim)`` float64 embeddings in ``(0, 1)`` (sigmoid
-        outputs).
+        ``(B, embedding_dim)`` embeddings in ``(0, 1)`` (sigmoid
+        outputs), in the compute dtype.
     """
-    feature_arrays = np.asarray(feature_arrays, dtype=np.float64)
+    dtype = np.dtype(dtype)
+    if dtype not in (np.float32, np.float64):
+        raise ShapeError("dtype must be float32 or float64")
+    feature_arrays = np.asarray(feature_arrays, dtype=dtype)
     if feature_arrays.ndim != 4:
         raise ShapeError("feature_arrays must be (B, 2, 6, W)")
     if batch_size <= 0:

@@ -16,9 +16,11 @@ from repro.core.engine import InferenceEngine
 from repro.core.enrollment import enroll_user
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import make_frontend
+from repro.core.gallery import TemplateGallery
+from repro.core.similarity import accept, cosine_distance
 from repro.core.verification import verify_batch, verify_presented_vector
 from repro.dsp.pipeline import Preprocessor
-from repro.errors import EnrollmentError, VerificationError
+from repro.errors import ConfigError, EnrollmentError, SignalError, VerificationError
 from repro.security.cancelable import CancelableTransform
 from repro.security.enclave import SecureEnclave
 from repro.types import RawRecording, VerificationResult
@@ -47,9 +49,18 @@ class MandiPass:
         self.config = config
         self.preprocessor = Preprocessor(config.preprocess)
         self.frontend = make_frontend(config.extractor.frontend)
-        self.engine = InferenceEngine(model, self.preprocessor, self.frontend)
+        self.engine = InferenceEngine(
+            model,
+            self.preprocessor,
+            self.frontend,
+            batch_size=config.inference.batch_size,
+            compute_dtype=config.inference.compute_dtype,
+        )
         self.enclave = enclave or SecureEnclave()
         self._transforms: dict[str, CancelableTransform] = {}
+        # Derived 1:N scoring cache; rebuilt lazily, dropped whenever
+        # the enrolled set or a sealed template changes.
+        self._gallery: TemplateGallery | None = None
 
     # ------------------------------------------------------------------
 
@@ -79,6 +90,7 @@ class MandiPass:
         )
         self._transforms[user_id] = transform
         self.enclave.seal(user_id, result.cancelable_template, transform.seed)
+        self._gallery = None
         return result.used_recordings
 
     def is_enrolled(self, user_id: str) -> bool:
@@ -133,40 +145,74 @@ class MandiPass:
 
     # ------------------------------------------------------------------
 
+    def _current_gallery(self) -> TemplateGallery | None:
+        """The 1:N scoring gallery, rebuilt lazily after any change.
+
+        Every template mutation goes through this facade (enroll,
+        revoke, renew, adapt) and drops the cache; sealing templates
+        into the enclave behind the facade's back leaves a stale
+        gallery.
+        """
+        if not self._transforms:
+            return None
+        if self._gallery is None:
+            user_ids = list(self._transforms)
+            self._gallery = TemplateGallery(
+                user_ids=user_ids,
+                matrices=[self._transforms[uid].matrix for uid in user_ids],
+                templates=[
+                    np.asarray(self.enclave.unseal(uid).template)
+                    for uid in user_ids
+                ],
+            )
+        return self._gallery
+
     def identify(self, recording: RawRecording) -> VerificationResult | None:
         """1:N identification: find the closest enrolled user.
 
         Extends the paper's 1:1 verification to the identification mode
         its classification experiments imply: extract one MandiblePrint
-        and compare against every sealed template (each under its own
-        user's Gaussian matrix).  Returns the best match as a
-        :class:`VerificationResult` (``accepted`` reflects the decision
-        threshold), or ``None`` when no user is enrolled or the
-        recording has no usable vibration.
+        and score it against every sealed template (each under its own
+        user's Gaussian matrix) in one :class:`TemplateGallery` pass.
+        Returns the best match as a :class:`VerificationResult`
+        (``accepted`` reflects the decision threshold), or ``None`` when
+        no user is enrolled or the recording has no usable vibration.
         """
-        from repro.core.similarity import accept, cosine_distance
-        from repro.errors import SignalError
+        return self.identify_many([recording])[0]
 
-        if not self._transforms:
-            return None
-        try:
-            embedding = self.engine.embed_one(recording)
-        except SignalError:
-            return None
-        best: VerificationResult | None = None
-        for user_id, transform in self._transforms.items():
-            record = self.enclave.unseal(user_id)
-            probe = transform.apply(embedding)
-            distance = cosine_distance(probe, np.asarray(record.template))
-            result = VerificationResult(
-                accepted=accept(distance, self.config.decision.threshold),
+    def identify_many(
+        self, recordings: Sequence[RawRecording]
+    ) -> list[VerificationResult | None]:
+        """1:N identification for a batch of recordings.
+
+        The batch runs once through the vectorised inference engine and
+        each surviving probe is scored against *all* enrolled users in
+        a single gallery pass — one matmul for the stacked Gaussian
+        projections, one einsum for the cosines — instead of a per-user
+        Python loop.  Returns one entry per recording in input order;
+        ``None`` marks a recording with no usable vibration (or an
+        empty enrolled set), exactly as :meth:`identify` reports it.
+        """
+        gallery = self._current_gallery()
+        results: list[VerificationResult | None] = [None] * len(recordings)
+        if gallery is None or not recordings:
+            return results
+        outcome = self.engine.embed(recordings)
+        if outcome.num_ok == 0:
+            return results
+        distances = gallery.distances_batch(outcome.values)
+        best = np.argmin(distances, axis=1)
+        threshold = self.config.decision.threshold
+        for row, input_index in enumerate(np.asarray(outcome.indices)):
+            column = int(best[row])
+            distance = float(distances[row, column])
+            results[int(input_index)] = VerificationResult(
+                accepted=accept(distance, threshold),
                 distance=distance,
-                threshold=self.config.decision.threshold,
-                user_id=user_id,
+                threshold=threshold,
+                user_id=gallery.user_ids[column],
             )
-            if best is None or result.distance < best.distance:
-                best = result
-        return best
+        return results
 
     def adapt_template(
         self, user_id: str, recording: RawRecording, rate: float = 0.1
@@ -179,23 +225,31 @@ class MandiPass:
         template with exponential weight ``rate``.  Rejected probes
         never adapt (otherwise an impostor could walk the template).
 
+        The probe runs the preprocess→forward pipeline exactly once:
+        the same embedding yields both the accept/reject decision and
+        the blended template.
+
         Returns:
             True if the template was updated, False if the probe was
             rejected (or unusable) and nothing changed.
         """
-        from repro.errors import ConfigError
-
         if not 0.0 < rate < 1.0:
             raise ConfigError("rate must lie in (0, 1)")
-        result = self.verify(user_id, recording)
-        if not result.accepted:
+        transform = self._transforms.get(user_id)
+        if transform is None:
+            raise VerificationError(f"user {user_id!r} is not enrolled")
+        try:
+            embedding = self.engine.embed_one(recording)
+        except SignalError:
             return False
-        transform = self._transforms[user_id]
-        embedding = self.engine.embed_one(recording)
         probe = transform.apply(embedding)
         record = self.enclave.unseal(user_id)
-        updated = (1.0 - rate) * np.asarray(record.template) + rate * probe
+        template = np.asarray(record.template)
+        if not accept(cosine_distance(probe, template), self.config.decision.threshold):
+            return False
+        updated = (1.0 - rate) * template + rate * probe
         self.enclave.seal(user_id, updated, transform.seed)
+        self._gallery = None
         return True
 
     def stored_template(self, user_id: str) -> np.ndarray:
@@ -206,6 +260,7 @@ class MandiPass:
         """Invalidate a user's template after suspected theft."""
         self.enclave.revoke(user_id)
         self._transforms.pop(user_id, None)
+        self._gallery = None
 
     def renew(
         self, user_id: str, recordings: list[RawRecording]

@@ -3,13 +3,51 @@
 The convolution layers in :mod:`repro.nn.layers` lower convolution onto
 matrix multiplication through im2col; ``col2im`` scatters gradients back.
 Both support asymmetric strides (the paper's extractor uses 1x2).
+
+The unfold is zero-copy until the last step: kernel windows are exposed
+as a :func:`numpy.lib.stride_tricks.as_strided` view of the padded
+input, and the only data movement is one vectorised gather into the
+column buffer (the historical implementation walked ``kh * kw`` Python
+slice-assignments instead).  Callers on the inference hot path can opt
+into reusable preallocated workspaces (``reuse=True``) so repeated
+forwards at a fixed batch shape stop reallocating the padded and column
+buffers on every call.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from repro.errors import ShapeError
+
+#: Upper bound on cached workspaces; keys beyond this evict LRU-first.
+#: Each distinct (shape, kernel, stride, pad, dtype) combination owns one
+#: padded buffer and one column buffer, so the extractor's six conv
+#: layers at one batch shape occupy six slots.
+_MAX_WORKSPACES = 16
+
+_WORKSPACES: OrderedDict[tuple, dict[str, np.ndarray]] = OrderedDict()
+
+
+def _workspace(key: tuple) -> dict[str, np.ndarray]:
+    """The (LRU-bounded) buffer dict for one im2col shape signature."""
+    ws = _WORKSPACES.get(key)
+    if ws is None:
+        ws = {}
+        _WORKSPACES[key] = ws
+        if len(_WORKSPACES) > _MAX_WORKSPACES:
+            _WORKSPACES.popitem(last=False)
+    else:
+        _WORKSPACES.move_to_end(key)
+    return ws
+
+
+def clear_workspaces() -> None:
+    """Drop every cached im2col workspace (frees the buffers)."""
+    _WORKSPACES.clear()
 
 
 def pad2d(x: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:
@@ -43,11 +81,58 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
+def _window_view(
+    padded: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    out_hw: tuple[int, int],
+) -> np.ndarray:
+    """``(B, C, kh, kw, out_h, out_w)`` strided window view (no copy)."""
+    kh, kw = kernel
+    sh, sw = stride
+    out_h, out_w = out_hw
+    bs, cs, hs, ws = padded.strides
+    return as_strided(
+        padded,
+        shape=(padded.shape[0], padded.shape[1], kh, kw, out_h, out_w),
+        strides=(bs, cs, hs, ws, hs * sh, ws * sw),
+        writeable=False,
+    )
+
+
+def sliding_windows(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+) -> np.ndarray:
+    """Read-only ``(B, C, out_h, out_w, kh, kw)`` window view of ``x``.
+
+    Zero-copy: the view aliases ``x``, so it is only valid while ``x``
+    is alive and unmodified.  Used by the pooling layers to reduce over
+    windows without materialising them.
+    """
+    if x.ndim != 4:
+        raise ShapeError("sliding_windows expects (B, C, H, W)")
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = conv_output_size(x.shape[2], kh, sh, 0)
+    out_w = conv_output_size(x.shape[3], kw, sw, 0)
+    bs, cs, hs, ws = x.strides
+    return as_strided(
+        x,
+        shape=(x.shape[0], x.shape[1], out_h, out_w, kh, kw),
+        strides=(bs, cs, hs * sh, ws * sw, hs, ws),
+        writeable=False,
+    )
+
+
 def im2col(
     x: np.ndarray,
     kernel: tuple[int, int],
     stride: tuple[int, int],
     pad: tuple[int, int],
+    *,
+    reuse: bool = False,
 ) -> np.ndarray:
     """Unfold sliding kernel windows into columns.
 
@@ -56,6 +141,13 @@ def im2col(
         kernel: ``(kh, kw)``.
         stride: ``(sh, sw)``.
         pad: ``(ph, pw)`` symmetric zero padding.
+        reuse: draw the padded and column buffers from a shape-keyed
+            workspace pool instead of allocating.  The returned array
+            then aliases the workspace and is only valid until the next
+            ``reuse=True`` call with the same shape signature — safe for
+            an inference forward that consumes the columns immediately,
+            wrong for a training forward that must retain them for
+            backward.
 
     Returns:
         ``(B, C * kh * kw, out_h * out_w)`` columns.
@@ -68,14 +160,34 @@ def im2col(
     batch, channels, height, width = x.shape
     out_h = conv_output_size(height, kh, sh, ph)
     out_w = conv_output_size(width, kw, sw, pw)
-    padded = pad2d(x, ph, pw)
 
-    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_end = i + sh * out_h
-        for j in range(kw):
-            j_end = j + sw * out_w
-            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    ws = (
+        _workspace(("im2col", x.shape, kernel, stride, pad, x.dtype))
+        if reuse
+        else None
+    )
+    if ph == 0 and pw == 0:
+        padded = x
+    elif ws is not None:
+        padded = ws.get("padded")
+        if padded is None:
+            # Zero once; only the interior is rewritten afterwards, so
+            # the border stays zero across reuses.
+            padded = ws["padded"] = np.zeros(
+                (batch, channels, height + 2 * ph, width + 2 * pw), dtype=x.dtype
+            )
+        padded[:, :, ph : ph + height, pw : pw + width] = x
+    else:
+        padded = pad2d(x, ph, pw)
+
+    windows = _window_view(padded, kernel, stride, (out_h, out_w))
+    if ws is not None:
+        cols = ws.get("cols")
+        if cols is None:
+            cols = ws["cols"] = np.empty(windows.shape, dtype=x.dtype)
+    else:
+        cols = np.empty(windows.shape, dtype=x.dtype)
+    cols[...] = windows  # the single gather copy
     return cols.reshape(batch, channels * kh * kw, out_h * out_w)
 
 
@@ -89,7 +201,11 @@ def col2im(
     """Scatter-add columns back onto the (padded) input grid.
 
     The adjoint of :func:`im2col`; overlapping windows accumulate,
-    which is exactly the gradient of the unfold operation.
+    which is exactly the gradient of the unfold operation.  When the
+    stride covers the kernel (windows disjoint) the scatter is one
+    strided-view assignment; overlapping windows alias each other in
+    the view, so they keep the ``kh * kw`` slice-accumulate (a
+    vectorised ``+=`` per kernel tap, never per element).
     """
     kh, kw = kernel
     sh, sw = stride
@@ -105,11 +221,22 @@ def col2im(
     padded = np.zeros(
         (batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype
     )
-    for i in range(kh):
-        i_end = i + sh * out_h
-        for j in range(kw):
-            j_end = j + sw * out_w
-            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if sh >= kh and sw >= kw:
+        # Disjoint windows: every padded element is written at most
+        # once, so a plain strided-view assignment is the full scatter.
+        bs, cs, hs, ws = padded.strides
+        view = as_strided(
+            padded,
+            shape=cols.shape,
+            strides=(bs, cs, hs, ws, hs * sh, ws * sw),
+        )
+        view[...] = cols
+    else:
+        for i in range(kh):
+            i_end = i + sh * out_h
+            for j in range(kw):
+                j_end = j + sw * out_w
+                padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
     return unpad2d(padded, ph, pw)
 
 
@@ -122,13 +249,19 @@ def relu_grad(x: np.ndarray, grad: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    # Numerically stable piecewise formulation.
-    out = np.empty_like(x, dtype=np.float64)
-    positive = x >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
-    return out
+    """Numerically stable sigmoid, single vectorised pass.
+
+    ``exp`` only ever sees ``-|x|`` (never overflows); both branches of
+    the stable piecewise form share that one exponential through
+    ``np.where``, with no boolean fancy indexing.  Floating inputs keep
+    their dtype (the float32 inference path relies on this); anything
+    else is computed in float64.
+    """
+    x = np.asarray(x)
+    if x.dtype not in (np.float32, np.float64):
+        x = x.astype(np.float64)
+    z = np.exp(np.where(x >= 0.0, -x, x))
+    return np.where(x >= 0.0, x.dtype.type(1.0), z) / (1.0 + z)
 
 
 def sigmoid_grad(out: np.ndarray, grad: np.ndarray) -> np.ndarray:

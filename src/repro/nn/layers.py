@@ -12,6 +12,15 @@ buffers and masks for a backward that never comes costs both time and
 memory.  A ``backward`` after an eval-mode forward therefore raises
 :class:`repro.errors.ModelError`, the same as a backward with no
 forward at all.
+
+Eval mode additionally follows the *input dtype* (the inference
+compute-dtype policy, DESIGN.md §4d): a float32 batch runs the whole
+forward in float32 against per-dtype cached casts of the float64 master
+parameters, and BatchNorm folds its running statistics into one cached
+scale/shift so the eval forward is a single multiply-add per layer.
+Those derived caches are invalidated whenever parameters may have
+changed: on the train→eval transition (optimisers step in train mode)
+and on ``load_state``.
 """
 
 from __future__ import annotations
@@ -28,6 +37,15 @@ class Module:
 
     def __init__(self) -> None:
         self.training = True
+        self._eval_cache: dict = {}
+
+    def _eval_cached(self, key: str, dtype: np.dtype, builder):
+        """Memoise ``builder()`` per (key, dtype) for eval-mode forwards."""
+        cache_key = (key, np.dtype(dtype))
+        entry = self._eval_cache.get(cache_key)
+        if entry is None:
+            entry = self._eval_cache[cache_key] = builder()
+        return entry
 
     # -- traversal ------------------------------------------------------
 
@@ -67,6 +85,12 @@ class Module:
         return self
 
     def eval(self) -> "Module":
+        # Entering eval after training: parameters (and BatchNorm
+        # running statistics) may have moved, so derived eval caches
+        # rebuild lazily.  Re-calling eval() on an eval module keeps
+        # the caches warm — nothing can have stepped the parameters.
+        if self.training:
+            self._eval_cache = {}
         self.training = False
         for child in self.children():
             child.eval()
@@ -108,6 +132,7 @@ class Module:
         self._restore_state(state, prefix="")
 
     def _restore_state(self, state: dict[str, np.ndarray], prefix: str) -> None:
+        self._eval_cache = {}
         for name, value in self.__dict__.items():
             key = f"{prefix}{name}"
             if isinstance(value, Parameter):
@@ -174,9 +199,21 @@ class Conv2d(Module):
             raise ShapeError(
                 f"Conv2d expected (B, {self.in_channels}, H, W), got {x.shape}"
             )
-        cols = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        # Training must own its columns (backward re-reads them), so the
+        # workspace pool — whose buffers the next same-shape forward
+        # overwrites — is inference-only.
+        cols = F.im2col(
+            x, self.kernel_size, self.stride, self.padding, reuse=not self.training
+        )
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        out = np.einsum("fk,bkl->bfl", w_mat, cols) + self.bias.data[None, :, None]
+        bias = self.bias.data
+        if not self.training and x.dtype != w_mat.dtype:
+            w_mat, bias = self._eval_cached(
+                "w", x.dtype,
+                lambda: (w_mat.astype(x.dtype), self.bias.data.astype(x.dtype)),
+            )
+        # (F, K) @ (B, K, L) broadcasts to a BLAS gemm per batch item.
+        out = w_mat @ cols + bias[None, :, None]
         out_h = F.conv_output_size(
             x.shape[2], self.kernel_size[0], self.stride[0], self.padding[0]
         )
@@ -220,30 +257,49 @@ class BatchNorm2d(Module):
         self.running_var = np.ones(num_channels)
         self._cache: tuple | None = None
 
+    def _eval_affine(self, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+        """Running stats + gamma/beta folded to one ``x * scale + shift``.
+
+        Folded in float64, cast to the compute dtype, cached per dtype;
+        invalidated by the Module eval-cache rules (train→eval
+        transition, load_state).
+        """
+
+        def build() -> tuple[np.ndarray, np.ndarray]:
+            std = np.sqrt(self.running_var + self.eps)
+            scale = self.gamma.data / std
+            shift = self.beta.data - self.running_mean * scale
+            return (
+                scale.astype(dtype)[None, :, None, None],
+                shift.astype(dtype)[None, :, None, None],
+            )
+
+        return self._eval_cached("affine", dtype, build)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.num_channels:
             raise ShapeError(
                 f"BatchNorm2d expected (B, {self.num_channels}, H, W), got {x.shape}"
             )
-        if self.training:
-            mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
-            self.running_mean = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean
-            )
-            self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var
-            )
-        else:
-            mean = self.running_mean
-            var = self.running_var
+        if not self.training:
+            scale, shift = self._eval_affine(x.dtype)
+            self._cache = None
+            return x * scale + shift
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        self.running_mean = (
+            (1 - self.momentum) * self.running_mean + self.momentum * mean
+        )
+        self.running_var = (
+            (1 - self.momentum) * self.running_var + self.momentum * var
+        )
         std = np.sqrt(var + self.eps)
         x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
         out = (
             self.gamma.data[None, :, None, None] * x_hat
             + self.beta.data[None, :, None, None]
         )
-        self._cache = (x_hat, std) if self.training else None
+        self._cache = (x_hat, std)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -346,7 +402,17 @@ class Linear(Module):
                 f"Linear expected (B, {self.in_features}), got {x.shape}"
             )
         self._input = x if self.training else None
-        return x @ self.weight.data.T + self.bias.data
+        weight_t = self.weight.data.T
+        bias = self.bias.data
+        if not self.training and x.dtype != weight_t.dtype:
+            weight_t, bias = self._eval_cached(
+                "wT", x.dtype,
+                lambda: (
+                    self.weight.data.T.astype(x.dtype),
+                    self.bias.data.astype(x.dtype),
+                ),
+            )
+        return x @ weight_t + bias
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._input is None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ModelError, ShapeError
-from repro.nn.functional import conv_output_size
+from repro.nn.functional import sliding_windows
 from repro.nn.layers import Module
 
 
@@ -33,21 +33,15 @@ class MaxPool2d(Module):
         self._cache: tuple | None = None
 
     def _windows(self, x: np.ndarray) -> np.ndarray:
-        """Gather pooling windows: ``(B, C, out_h, out_w, kh * kw)``."""
+        """Gather pooling windows: ``(B, C, out_h, out_w, kh * kw)``.
+
+        One strided window view plus one reshape copy (the view is not
+        contiguous over the flattened kernel axis, so the reshape is
+        the single gather).
+        """
         kh, kw = self.kernel_size
-        sh, sw = self.stride
-        batch, channels, height, width = x.shape
-        out_h = conv_output_size(height, kh, sh, 0)
-        out_w = conv_output_size(width, kw, sw, 0)
-        windows = np.empty((batch, channels, out_h, out_w, kh * kw), dtype=x.dtype)
-        idx = 0
-        for i in range(kh):
-            for j in range(kw):
-                windows[..., idx] = x[
-                    :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
-                ]
-                idx += 1
-        return windows
+        view = sliding_windows(x, self.kernel_size, self.stride)
+        return view.reshape(view.shape[:4] + (kh * kw,))
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
@@ -100,16 +94,10 @@ class AvgPool2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
             raise ShapeError("AvgPool2d expects (B, C, H, W)")
-        kh, kw = self.kernel_size
-        sh, sw = self.stride
-        out_h = conv_output_size(x.shape[2], kh, sh, 0)
-        out_w = conv_output_size(x.shape[3], kw, sw, 0)
-        out = np.zeros((x.shape[0], x.shape[1], out_h, out_w), dtype=x.dtype)
-        for i in range(kh):
-            for j in range(kw):
-                out += x[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
         self._input_shape = x.shape
-        return out / (kh * kw)
+        # Mean directly over the zero-copy window view; dtype follows
+        # the input (float32 stays float32 on the inference path).
+        return sliding_windows(x, self.kernel_size, self.stride).mean(axis=(-2, -1))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._input_shape is None:

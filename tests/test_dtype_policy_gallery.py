@@ -1,0 +1,256 @@
+"""Float32 inference parity and one-matmul gallery identification.
+
+The compute-dtype policy promises: training stays float64, float32 is
+an inference-only fast path whose embedding drift is bounded and whose
+accept/reject decisions match float64 on the synthetic population.  The
+``TemplateGallery`` promises: one matmul + one einsum reproduce the
+per-user identify loop user-for-user and distance-for-distance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MandiPass, Recorder
+from repro.config import InferenceConfig, MandiPassConfig, SecurityConfig
+from repro.core.engine import InferenceEngine
+from repro.core.gallery import TemplateGallery
+from repro.core.similarity import cosine_distance
+from repro.errors import ConfigError, ShapeError
+from repro.nn import BatchNorm2d, Conv2d, Linear
+from repro.security.cancelable import CancelableTransform
+
+
+def _device(trained_model, dtype, seed=11):
+    config = MandiPassConfig(
+        extractor=trained_model.config,
+        security=SecurityConfig(
+            template_dim=trained_model.config.embedding_dim,
+            projected_dim=trained_model.config.embedding_dim,
+            matrix_seed=seed,
+        ),
+        inference=InferenceConfig(compute_dtype=dtype),
+    )
+    return MandiPass(trained_model, config=config)
+
+
+@pytest.fixture(scope="module")
+def probe_queue(population, recorder):
+    """Genuine, impostor and dead probes — a realistic verify queue."""
+    queue = [np.zeros((210, 6))]
+    for trial in range(60, 66):
+        queue.append(recorder.record(population[1], trial_index=trial))
+    for person in (2, 3, 5, 7):
+        queue.append(recorder.record(population[person], trial_index=9))
+    return queue
+
+
+class TestDtypePolicy:
+    def test_config_rejects_unknown_dtype(self):
+        with pytest.raises(ConfigError):
+            InferenceConfig(compute_dtype="float16")
+        with pytest.raises(ConfigError):
+            InferenceEngine(model=None, compute_dtype="int8")
+
+    def test_float32_embedding_drift_bounded(self, trained_model, hired_dataset):
+        features = hired_dataset.features[:16]
+        emb64 = InferenceEngine(trained_model, compute_dtype="float64").embed_features(
+            features
+        )
+        emb32 = InferenceEngine(trained_model, compute_dtype="float32").embed_features(
+            features
+        )
+        # Embeddings live in (-0.5, 0.5) after centring; float32 keeps
+        # them within a few 1e-6 of the float64 forward.
+        assert np.max(np.abs(emb64 - emb32)) < 1e-4
+        # Both come back float64 after centring (decisions stay float64).
+        assert emb64.dtype == emb32.dtype == np.float64
+
+    def test_decision_parity_on_population(
+        self, trained_model, population, recorder, probe_queue
+    ):
+        enrollment = [recorder.record(population[1], trial_index=i) for i in range(5)]
+        dev64 = _device(trained_model, "float64")
+        dev32 = _device(trained_model, "float32")
+        dev64.enroll("parity", enrollment)
+        dev32.enroll("parity", enrollment)
+        res64 = dev64.verify_many("parity", probe_queue)
+        res32 = dev32.verify_many("parity", probe_queue)
+        assert [r.accepted for r in res64] == [r.accepted for r in res32]
+        for a, b in zip(res64, res32):
+            assert a.distance == pytest.approx(b.distance, abs=1e-4)
+        # The queue genuinely mixes accepts and rejects.
+        outcomes = {r.accepted for r in res64}
+        assert outcomes == {True, False}
+
+    def test_eval_forward_follows_input_dtype(self, trained_model, hired_dataset):
+        trained_model.eval()
+        feats32 = np.asarray(hired_dataset.features[:2], dtype=np.float32)
+        assert trained_model.embed(feats32).dtype == np.float32
+        feats64 = np.asarray(hired_dataset.features[:2], dtype=np.float64)
+        assert trained_model.embed(feats64).dtype == np.float64
+
+    def test_training_forward_promotes_to_float64(self, rng):
+        conv = Conv2d(1, 2, (3, 3), (1, 1), (1, 1), rng=rng)
+        conv.train()
+        out = conv(rng.normal(size=(1, 1, 4, 4)).astype(np.float32))
+        assert out.dtype == np.float64
+
+
+class TestEvalCaches:
+    def test_batchnorm_folding_matches_formula(self, rng):
+        bn = BatchNorm2d(3)
+        for _ in range(5):
+            bn(rng.normal(2.0, 3.0, size=(8, 3, 4, 5)))
+        bn.eval()
+        x = rng.normal(2.0, 3.0, size=(4, 3, 4, 5))
+        std = np.sqrt(bn.running_var + bn.eps)
+        expected = (
+            bn.gamma.data[None, :, None, None]
+            * (x - bn.running_mean[None, :, None, None])
+            / std[None, :, None, None]
+            + bn.beta.data[None, :, None, None]
+        )
+        np.testing.assert_allclose(bn(x), expected, rtol=1e-12, atol=1e-12)
+
+    def test_caches_invalidate_on_train_eval_transition(self, rng):
+        bn = BatchNorm2d(2)
+        bn(rng.normal(size=(4, 2, 3, 3)))
+        bn.eval()
+        x = rng.normal(size=(2, 2, 3, 3))
+        before = bn(x)
+        # Parameter steps happen in train mode; re-entering eval must
+        # rebuild the folded affine.
+        bn.train()
+        bn.gamma.data *= 2.0
+        bn.eval()
+        after = bn(x)
+        assert not np.allclose(before, after)
+
+    def test_load_state_invalidates_cast_cache(self, rng):
+        lin = Linear(4, 3, rng=rng)
+        lin.eval()
+        x32 = rng.normal(size=(2, 4)).astype(np.float32)
+        before = lin(x32)
+        state = {k: v * 2.0 for k, v in lin.state_dict().items()}
+        lin.load_state(state)
+        after = lin(x32)
+        assert not np.allclose(before, after)
+
+
+def _identify_loop(device, embedding):
+    """The historical per-user identify loop, kept as the oracle."""
+    best = None
+    for user_id, transform in device._transforms.items():
+        record = device.enclave.unseal(user_id)
+        probe = transform.apply(embedding)
+        distance = cosine_distance(probe, np.asarray(record.template))
+        if best is None or distance < best[1]:
+            best = (user_id, distance)
+    return best
+
+
+@pytest.fixture(scope="module")
+def gallery_device(trained_model, population):
+    device = _device(trained_model, "float64", seed=41)
+    recorder = Recorder(seed=17)
+    users = {"ga": population[0], "gb": population[3], "gc": population[5]}
+    for name, person in users.items():
+        device.enroll(name, [recorder.record(person, trial_index=i) for i in range(5)])
+    return device, users, recorder
+
+
+class TestTemplateGallery:
+    def test_matches_per_user_loop(self, gallery_device):
+        device, users, recorder = gallery_device
+        for name, person in users.items():
+            embedding = device.engine.embed_one(
+                recorder.record(person, trial_index=70)
+            )
+            loop_user, loop_distance = _identify_loop(device, embedding)
+            result = device.identify(recorder.record(person, trial_index=70))
+            assert result is not None
+            assert result.user_id == loop_user == name
+            assert result.distance == pytest.approx(loop_distance, abs=1e-10)
+
+    def test_identify_many_matches_identify(self, gallery_device, population):
+        device, users, recorder = gallery_device
+        queue = [
+            recorder.record(users["ga"], trial_index=71),
+            np.zeros((210, 6)),
+            recorder.record(users["gc"], trial_index=72),
+            recorder.record(population[7], trial_index=3),
+        ]
+        many = device.identify_many(queue)
+        assert len(many) == len(queue)
+        assert many[1] is None
+        for got, recording in zip(many, queue):
+            one = device.identify(recording)
+            if one is None:
+                assert got is None
+            else:
+                assert got.user_id == one.user_id
+                assert got.distance == pytest.approx(one.distance, abs=1e-10)
+
+    def test_gallery_invalidated_by_adapt(self, gallery_device):
+        device, users, recorder = gallery_device
+        probe = recorder.record(users["gb"], trial_index=80)
+        before = device.identify(probe)
+        assert device.adapt_template("gb", recorder.record(users["gb"], trial_index=81))
+        after = device.identify(probe)
+        assert before is not None and after is not None
+        assert after.user_id == "gb"
+        # The sealed template moved, so the scored distance moved too.
+        assert after.distance != pytest.approx(before.distance, abs=1e-12)
+
+    def test_gallery_invalidated_by_revoke_and_renew(
+        self, trained_model, population
+    ):
+        device = _device(trained_model, "float64", seed=43)
+        recorder = Recorder(seed=29)
+        for name, person in (("ra", population[2]), ("rb", population[6])):
+            device.enroll(
+                name, [recorder.record(person, trial_index=i) for i in range(4)]
+            )
+        probe = recorder.record(population[2], trial_index=50)
+        assert device.identify(probe).user_id == "ra"
+        device.revoke("ra")
+        result = device.identify(probe)
+        assert result is None or result.user_id != "ra"
+        device.renew(
+            "ra", [recorder.record(population[2], trial_index=i) for i in range(4, 8)]
+        )
+        assert device.identify(probe).user_id == "ra"
+
+    def test_empty_gallery_rejected(self):
+        with pytest.raises(ShapeError):
+            TemplateGallery(user_ids=[], matrices=[], templates=[])
+
+    def test_zero_probe_and_zero_template_are_maximally_distant(self):
+        transforms = [CancelableTransform(8, seed=s) for s in (1, 2)]
+        templates = [np.ones(8), np.zeros(8)]
+        gallery = TemplateGallery(
+            user_ids=["u0", "u1"],
+            matrices=[t.matrix for t in transforms],
+            templates=templates,
+        )
+        distances = gallery.distances(np.zeros(8))
+        np.testing.assert_allclose(distances, [1.0, 1.0])
+        # Nonzero probe against the zero template: still the neutral 1.0.
+        assert gallery.distances(np.ones(8))[1] == pytest.approx(1.0)
+
+    def test_batch_scoring_equals_rowwise(self, rng):
+        transforms = [CancelableTransform(16, seed=s) for s in range(5)]
+        templates = [rng.normal(size=16) for _ in range(5)]
+        gallery = TemplateGallery(
+            user_ids=[f"u{i}" for i in range(5)],
+            matrices=[t.matrix for t in transforms],
+            templates=templates,
+        )
+        probes = rng.normal(size=(7, 16))
+        batch = gallery.distances_batch(probes)
+        assert batch.shape == (7, 5)
+        for row, probe in enumerate(probes):
+            np.testing.assert_allclose(batch[row], gallery.distances(probe))
+            for col, transform in enumerate(transforms):
+                expected = cosine_distance(transform.apply(probe), templates[col])
+                assert batch[row, col] == pytest.approx(expected, abs=1e-10)
