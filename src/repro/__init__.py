@@ -39,9 +39,11 @@ from repro.core import (
     extract_embeddings,
     train_extractor,
 )
+from repro import obs
 from repro.datasets import DatasetCache, DatasetSpec, SynthDataset, generate_dataset
 from repro.dsp import Preprocessor
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry
 from repro.imu import IDEAL_IMU, MPU6050, MPU9250, Recorder
 from repro.physio import PersonProfile, RecordingCondition, sample_population
 from repro.security import CancelableTransform, SecureEnclave
@@ -67,6 +69,7 @@ __all__ = [
     "MPU9250",
     "MandiPass",
     "MandiPassConfig",
+    "MetricsRegistry",
     "Mouthful",
     "PersonProfile",
     "PreprocessConfig",
@@ -85,6 +88,7 @@ __all__ = [
     "cosine_distance",
     "extract_embeddings",
     "generate_dataset",
+    "obs",
     "sample_population",
     "train_extractor",
 ]

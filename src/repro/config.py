@@ -156,10 +156,17 @@ class InferenceConfig:
             the parity tests and decisions computed in float64 either
             way.
         batch_size: forward-pass chunking of the inference engine.
+        metrics_enabled: turn on process-wide metric collection
+            (:mod:`repro.obs`) when the system facade is constructed.
+            Off by default: the instrumented call sites then hit the
+            shared no-op registry, whose overhead is held within 5% of
+            an uninstrumented baseline by
+            ``benchmarks/test_obs_overhead.py``.
     """
 
     compute_dtype: str = "float64"
     batch_size: int = 256
+    metrics_enabled: bool = False
 
     def __post_init__(self) -> None:
         _require(

@@ -28,6 +28,7 @@ from repro.core.mandibleprint import extract_embeddings
 from repro.core.similarity import center_embedding
 from repro.dsp.pipeline import Preprocessor
 from repro.errors import ConfigError, ShapeError
+from repro.obs import runtime as obs
 from repro.types import RawRecording
 
 
@@ -70,6 +71,19 @@ class BatchOutcome:
             raise ShapeError("values and indices disagree on success count")
         if len(self.indices) + len(self.failures) != self.batch_size:
             raise ShapeError("successes + failures must cover the batch")
+        success = [int(i) for i in self.indices]
+        if any(b <= a for a, b in zip(success, success[1:])):
+            raise ShapeError("success indices must be strictly increasing")
+        failed = [f.index for f in self.failures]
+        if any(b <= a for a, b in zip(failed, failed[1:])):
+            raise ShapeError("failures must be sorted by strictly increasing index")
+        covered = set(success) | set(failed)
+        if len(covered) != self.batch_size or (
+            covered and not covered <= set(range(self.batch_size))
+        ):
+            raise ShapeError(
+                "success and failure indices must partition range(batch_size)"
+            )
 
     @property
     def num_ok(self) -> int:
@@ -174,7 +188,8 @@ class InferenceEngine:
     def features(self, signal_arrays: np.ndarray) -> np.ndarray:
         """Front-end transform of stacked signals: ``(K, 2, 6, W)``."""
         _, frontend = self._require_signal_stages()
-        return frontend.transform_batch(signal_arrays)
+        with obs.span("frontend"):
+            return frontend.transform_batch(signal_arrays)
 
     def embed_features(self, feature_arrays: np.ndarray) -> np.ndarray:
         """Centred MandiblePrints ``(K, d)`` for stacked feature arrays.
@@ -183,20 +198,24 @@ class InferenceEngine:
         centring upcasts to float64, so everything downstream (cosine
         distances, decisions) is float64 either way.
         """
-        return center_embedding(
-            extract_embeddings(
-                self.model,
-                feature_arrays,
-                batch_size=self.batch_size,
-                dtype=self.compute_dtype,
+        with obs.span("extractor"):
+            return center_embedding(
+                extract_embeddings(
+                    self.model,
+                    feature_arrays,
+                    batch_size=self.batch_size,
+                    dtype=self.compute_dtype,
+                )
             )
-        )
 
     # -- end-to-end -----------------------------------------------------
 
     def embed(self, recordings: Sequence[RawRecording]) -> BatchOutcome:
         """Recordings to centred MandiblePrints, with per-item failures."""
+        obs.observe_batch_size("embed", len(recordings))
         outcome = self.preprocess(recordings)
+        for failure in outcome.failures:
+            obs.inc("failures_total", error=failure.error)
         if outcome.num_ok == 0:
             empty = np.empty((0, self.model.config.embedding_dim))
             return dataclasses.replace(outcome, values=empty)

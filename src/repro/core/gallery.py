@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.obs import runtime as obs
 
 
 class TemplateGallery:
@@ -72,6 +73,7 @@ class TemplateGallery:
         # convention for degenerate vectors).
         norms = np.linalg.norm(temps, axis=1, keepdims=True)
         self._templates_unit = temps / np.where(norms == 0.0, 1.0, norms)
+        obs.set_gauge("gallery_users", num_users)
 
     @property
     def num_users(self) -> int:
@@ -91,17 +93,18 @@ class TemplateGallery:
                 f"expected (B, {self.in_dim}) embeddings, got {embeddings.shape}"
             )
         batch = embeddings.shape[0]
-        # One matmul projects the batch under every user's matrix...
-        projected = (embeddings @ self._projection).reshape(
-            batch, self.num_users, self.out_dim
-        )
-        # ...one einsum takes all B*U cosine numerators.
-        numerators = np.einsum("buo,uo->bu", projected, self._templates_unit)
-        norms = np.sqrt(np.einsum("buo,buo->bu", projected, projected))
-        cosines = np.where(
-            norms == 0.0, 0.0, numerators / np.where(norms == 0.0, 1.0, norms)
-        )
-        return 1.0 - np.clip(cosines, -1.0, 1.0)
+        with obs.span("gallery_score"):
+            # One matmul projects the batch under every user's matrix...
+            projected = (embeddings @ self._projection).reshape(
+                batch, self.num_users, self.out_dim
+            )
+            # ...one einsum takes all B*U cosine numerators.
+            numerators = np.einsum("buo,uo->bu", projected, self._templates_unit)
+            norms = np.sqrt(np.einsum("buo,buo->bu", projected, projected))
+            cosines = np.where(
+                norms == 0.0, 0.0, numerators / np.where(norms == 0.0, 1.0, norms)
+            )
+            return 1.0 - np.clip(cosines, -1.0, 1.0)
 
     def distances(self, embedding: np.ndarray) -> np.ndarray:
         """Cosine distances of one probe embedding to every user: ``(U,)``."""

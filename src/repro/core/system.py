@@ -21,6 +21,7 @@ from repro.core.similarity import accept, cosine_distance
 from repro.core.verification import verify_batch, verify_presented_vector
 from repro.dsp.pipeline import Preprocessor
 from repro.errors import ConfigError, EnrollmentError, SignalError, VerificationError
+from repro.obs import runtime as obs
 from repro.security.cancelable import CancelableTransform
 from repro.security.enclave import SecureEnclave
 from repro.types import RawRecording, VerificationResult
@@ -45,6 +46,11 @@ class MandiPass:
             raise EnrollmentError(
                 "extractor embedding_dim does not match security.template_dim"
             )
+        if config.inference.metrics_enabled:
+            # Process-wide by design: the registry outlives the device
+            # facade so a service can scrape one snapshot across every
+            # earphone it hosts.  Idempotent if already enabled.
+            obs.enable()
         self.model = model
         self.config = config
         self.preprocessor = Preprocessor(config.preprocess)
@@ -91,6 +97,7 @@ class MandiPass:
         self._transforms[user_id] = transform
         self.enclave.seal(user_id, result.cancelable_template, transform.seed)
         self._gallery = None
+        obs.set_gauge("enrolled_users", len(self._transforms))
         return result.used_recordings
 
     def is_enrolled(self, user_id: str) -> bool:
@@ -122,14 +129,16 @@ class MandiPass:
         if transform is None:
             raise VerificationError(f"user {user_id!r} is not enrolled")
         record = self.enclave.unseal(user_id)
-        return verify_batch(
-            user_id=user_id,
-            engine=self.engine,
-            recordings=recordings,
-            template=np.asarray(record.template),
-            transform=transform,
-            threshold=self.config.decision.threshold,
-        )
+        with obs.span("verify"):
+            obs.observe_batch_size("verify_many", len(recordings))
+            return verify_batch(
+                user_id=user_id,
+                engine=self.engine,
+                recordings=recordings,
+                template=np.asarray(record.template),
+                transform=transform,
+                threshold=self.config.decision.threshold,
+            )
 
     def verify_presented(
         self, user_id: str, presented: np.ndarray
@@ -193,26 +202,36 @@ class MandiPass:
         ``None`` marks a recording with no usable vibration (or an
         empty enrolled set), exactly as :meth:`identify` reports it.
         """
-        gallery = self._current_gallery()
-        results: list[VerificationResult | None] = [None] * len(recordings)
-        if gallery is None or not recordings:
+        with obs.span("identify"):
+            obs.observe_batch_size("identify_many", len(recordings))
+            gallery = self._current_gallery()
+            results: list[VerificationResult | None] = [None] * len(recordings)
+            if gallery is None or not recordings:
+                return results
+            outcome = self.engine.embed(recordings)
+            if outcome.num_ok == 0:
+                return results
+            distances = gallery.distances_batch(outcome.values)
+            best = np.argmin(distances, axis=1)
+            threshold = self.config.decision.threshold
+            for row, input_index in enumerate(np.asarray(outcome.indices)):
+                column = int(best[row])
+                distance = float(distances[row, column])
+                results[int(input_index)] = VerificationResult(
+                    accepted=accept(distance, threshold),
+                    distance=distance,
+                    threshold=threshold,
+                    user_id=gallery.user_ids[column],
+                )
+            if obs.get_registry().enabled:
+                for result in results:
+                    decision = (
+                        "refusal"
+                        if result is None
+                        else ("accept" if result.accepted else "reject")
+                    )
+                    obs.inc("decisions_total", decision=decision)
             return results
-        outcome = self.engine.embed(recordings)
-        if outcome.num_ok == 0:
-            return results
-        distances = gallery.distances_batch(outcome.values)
-        best = np.argmin(distances, axis=1)
-        threshold = self.config.decision.threshold
-        for row, input_index in enumerate(np.asarray(outcome.indices)):
-            column = int(best[row])
-            distance = float(distances[row, column])
-            results[int(input_index)] = VerificationResult(
-                accepted=accept(distance, threshold),
-                distance=distance,
-                threshold=threshold,
-                user_id=gallery.user_ids[column],
-            )
-        return results
 
     def adapt_template(
         self, user_id: str, recording: RawRecording, rate: float = 0.1
@@ -261,6 +280,7 @@ class MandiPass:
         self.enclave.revoke(user_id)
         self._transforms.pop(user_id, None)
         self._gallery = None
+        obs.set_gauge("enrolled_users", len(self._transforms))
 
     def renew(
         self, user_id: str, recordings: list[RawRecording]

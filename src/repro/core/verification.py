@@ -19,6 +19,7 @@ from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import FrontEnd
 from repro.core.similarity import accept, cosine_distance, distances_to_template
 from repro.dsp.pipeline import Preprocessor
+from repro.obs import runtime as obs
 from repro.security.cancelable import CancelableTransform
 from repro.types import RawRecording, VerificationResult
 
@@ -68,7 +69,8 @@ def verify_batch(
         distances[np.asarray(outcome.indices, dtype=np.int64)] = (
             distances_to_template(probes, np.asarray(template, dtype=np.float64))
         )
-    return [
+    ok = outcome.ok_mask()
+    results = [
         VerificationResult(
             accepted=accept(float(d), threshold),
             distance=float(d),
@@ -77,6 +79,17 @@ def verify_batch(
         )
         for d in distances
     ]
+    if obs.get_registry().enabled:
+        for result, usable in zip(results, ok):
+            # A request whose recording never produced an embedding is a
+            # *refusal* (the sentinel distance), not a biometric reject.
+            if not usable:
+                obs.inc("decisions_total", decision="refusal")
+            elif result.accepted:
+                obs.inc("decisions_total", decision="accept")
+            else:
+                obs.inc("decisions_total", decision="reject")
+    return results
 
 
 def verify_recording(

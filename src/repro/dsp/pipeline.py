@@ -27,6 +27,7 @@ from repro.dsp.filters import design_highpass, sosfilt
 from repro.dsp.normalize import min_max_normalize
 from repro.dsp.outliers import replace_outliers, replace_outliers_batch
 from repro.errors import OnsetNotFoundError, SignalError
+from repro.obs import runtime as obs
 from repro.types import NUM_AXES, RawRecording, SignalArray
 
 
@@ -72,16 +73,19 @@ class Preprocessor:
     def process_debug(self, recording: RawRecording) -> PreprocessDebug:
         """Like :meth:`process` but returns every intermediate stage."""
         cfg = self.config
-        onset = detect_onset(recording, cfg)
-        segments = segment_after_onset(recording, onset, cfg.segment_length)
+        with obs.span("onset"):
+            onset = detect_onset(recording, cfg)
+            segments = segment_after_onset(recording, onset, cfg.segment_length)
 
-        despiked = np.empty_like(segments)
-        for axis in range(NUM_AXES):
-            despiked[axis] = replace_outliers(
-                segments[axis], threshold=cfg.mad_threshold
-            )
+        with obs.span("outlier"):
+            despiked = np.empty_like(segments)
+            for axis in range(NUM_AXES):
+                despiked[axis] = replace_outliers(
+                    segments[axis], threshold=cfg.mad_threshold
+                )
 
-        filtered = sosfilt(self._sos, despiked)
+        with obs.span("filter"):
+            filtered = sosfilt(self._sos, despiked)
         # Quality gate: after outlier replacement a segment that was
         # 'detected' off sensor glitches collapses to noise; a genuine
         # 'EMM' sustains hundreds of counts of high-passed energy.
@@ -91,7 +95,8 @@ class Preprocessor:
             raise OnsetNotFoundError(
                 "segment carries no sustained vibration after despiking"
             )
-        normalized = min_max_normalize(filtered, axis=-1)
+        with obs.span("normalize"):
+            normalized = min_max_normalize(filtered, axis=-1)
         return PreprocessDebug(
             onset=onset,
             raw_segments=segments,
@@ -139,34 +144,39 @@ class Preprocessor:
         segments: list[np.ndarray] = []
         indices: list[int] = []
 
-        rectangular = (
-            len(items) > 0
-            and all(it.ndim == 2 and it.shape[1] == NUM_AXES for it in items)
-            and len({it.shape[0] for it in items}) == 1
-        )
-        detections = (
-            detection_signals_batch(np.stack(items), cfg, sos=self._sos)
-            if rectangular
-            else None
-        )
-        for idx, item in enumerate(items):
-            try:
-                if detections is not None:
-                    onset = detect_onset_from_signal(detections[idx], cfg)
-                else:
-                    onset = detect_onset(item, cfg, sos=self._sos)
-                segments.append(segment_after_onset(item, onset, cfg.segment_length))
-                indices.append(idx)
-            except SignalError as exc:
-                failures.append((idx, exc))
+        with obs.span("onset"):
+            rectangular = (
+                len(items) > 0
+                and all(it.ndim == 2 and it.shape[1] == NUM_AXES for it in items)
+                and len({it.shape[0] for it in items}) == 1
+            )
+            detections = (
+                detection_signals_batch(np.stack(items), cfg, sos=self._sos)
+                if rectangular
+                else None
+            )
+            for idx, item in enumerate(items):
+                try:
+                    if detections is not None:
+                        onset = detect_onset_from_signal(detections[idx], cfg)
+                    else:
+                        onset = detect_onset(item, cfg, sos=self._sos)
+                    segments.append(
+                        segment_after_onset(item, onset, cfg.segment_length)
+                    )
+                    indices.append(idx)
+                except SignalError as exc:
+                    failures.append((idx, exc))
 
         empty = np.empty((0, NUM_AXES, cfg.segment_length))
         if not segments:
             return empty, np.empty(0, dtype=np.int64), failures
 
         stacked = np.stack(segments)
-        despiked = replace_outliers_batch(stacked, threshold=cfg.mad_threshold)
-        filtered = sosfilt(self._sos, despiked)
+        with obs.span("outlier"):
+            despiked = replace_outliers_batch(stacked, threshold=cfg.mad_threshold)
+        with obs.span("filter"):
+            filtered = sosfilt(self._sos, despiked)
         # Same quality gate as process_debug, vectorised across items.
         sustained = filtered.std(axis=2).max(axis=1) >= cfg.min_segment_std
         for local in np.flatnonzero(~sustained):
@@ -181,6 +191,7 @@ class Preprocessor:
         failures.sort(key=lambda pair: pair[0])
         if not sustained.any():
             return empty, np.empty(0, dtype=np.int64), failures
-        normalized = min_max_normalize(filtered[sustained], axis=-1)
+        with obs.span("normalize"):
+            normalized = min_max_normalize(filtered[sustained], axis=-1)
         kept = np.asarray(indices, dtype=np.int64)[sustained]
         return normalized, kept, failures

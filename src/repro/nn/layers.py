@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import ModelError, ShapeError
 from repro.nn import functional as F
 from repro.nn.tensor import Parameter, kaiming_uniform
+from repro.obs import runtime as obs
 
 
 class Module:
@@ -45,6 +46,9 @@ class Module:
         entry = self._eval_cache.get(cache_key)
         if entry is None:
             entry = self._eval_cache[cache_key] = builder()
+            obs.inc("eval_cache_total", result="miss")
+        else:
+            obs.inc("eval_cache_total", result="hit")
         return entry
 
     # -- traversal ------------------------------------------------------

@@ -1,0 +1,318 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds, deliberately matching the Prometheus data
+model so the text exporter is a straight rendering:
+
+* :class:`Counter` -- a monotonically increasing float (requests,
+  failures, cache hits).
+* :class:`Gauge` -- a float that can move both ways (enrolled users,
+  gallery size).
+* :class:`Histogram` -- fixed-bucket latency/size distribution with a
+  running sum and count; buckets are chosen at creation and never
+  resized, so an observation is one bisect plus three adds.
+
+A :class:`MetricsRegistry` hands out instruments keyed by
+``(name, sorted labels)`` -- asking twice for the same key returns the
+same object -- and exports everything as a plain dict, a JSON snapshot
+or Prometheus text.  :class:`NullRegistry` is the API-compatible no-op
+used as the process-wide default (see :mod:`repro.obs.runtime`): every
+instrument it returns is a shared inert singleton, so uninstrumented
+runs pay only a truthiness check per call site.
+
+The module is dependency-free (stdlib only) on purpose: it must be
+importable from the innermost layers (``repro.nn``, ``repro.dsp``)
+without widening their dependency surface.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Iterator
+
+
+#: Default latency buckets (seconds): sub-millisecond DSP stages up to
+#: multi-second cold batches.  The paper's whole-authentication budget
+#: is 0.46 s, which lands mid-range.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    10.0,
+)
+
+#: Default batch-size buckets (powers of two up to the engine default).
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(items: LabelItems) -> str:
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution with running sum and count.
+
+    ``bucket_counts[i]`` counts observations ``<= uppers[i]`` exclusive
+    of lower buckets (non-cumulative storage); the exporters render the
+    cumulative Prometheus form.  The final implicit ``+Inf`` bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "labels", "uppers", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self, name: str, labels: LabelItems, buckets: tuple[float, ...]
+    ) -> None:
+        if not buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(buckets) != sorted(set(buckets)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.uppers = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.uppers) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.uppers, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for upper, n in zip(self.uppers, self.bucket_counts):
+            running += n
+            out.append((upper, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+
+class _NullInstrument:
+    """Shared inert instrument: every mutator is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Owns every instrument of one collection scope.
+
+    Instruments are get-or-create by ``(name, sorted labels)``; the
+    same key always returns the same object, so call sites can fetch
+    on the hot path without holding references.  Creation is guarded
+    by a lock (concurrent first-touch from serving threads); the
+    per-instrument mutators are plain float ops, atomic enough under
+    the GIL for monitoring purposes.
+    """
+
+    #: Hot call sites check this before building label dicts; the
+    #: :class:`NullRegistry` overrides it to False.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, LabelItems], Counter] = {}
+        self._gauges: dict[tuple[str, LabelItems], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelItems], Histogram] = {}
+
+    # -- instrument access ----------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_items(labels))
+        found = self._counters.get(key)
+        if found is None:
+            with self._lock:
+                found = self._counters.setdefault(key, Counter(*key))
+        return found
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_items(labels))
+        found = self._gauges.get(key)
+        if found is None:
+            with self._lock:
+                found = self._gauges.setdefault(key, Gauge(*key))
+        return found
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_items(labels))
+        found = self._histograms.get(key)
+        if found is None:
+            with self._lock:
+                found = self._histograms.setdefault(
+                    key, Histogram(key[0], key[1], buckets)
+                )
+        return found
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh collection scope)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- exporters ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Deterministic nested-dict snapshot.
+
+        Keys are ``name{label="value",...}`` series identifiers, sorted,
+        so two snapshots of the same state are equal object-for-object
+        (and therefore serialization-stable through ``json``).
+        """
+        counters = {
+            f"{c.name}{_label_suffix(c.labels)}": c.value
+            for c in self._counters.values()
+        }
+        gauges = {
+            f"{g.name}{_label_suffix(g.labels)}": g.value
+            for g in self._gauges.values()
+        }
+        histograms = {}
+        for h in self._histograms.values():
+            histograms[f"{h.name}{_label_suffix(h.labels)}"] = {
+                "buckets": [
+                    [upper if upper != float("inf") else "+Inf", count]
+                    for upper, count in h.cumulative()
+                ],
+                "sum": h.sum,
+                "count": h.count,
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The :meth:`to_dict` snapshot as canonical JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        return "".join(self._prometheus_lines())
+
+    def _prometheus_lines(self) -> Iterator[str]:
+        for name in sorted({n for n, _ in self._counters}):
+            yield f"# TYPE {name} counter\n"
+            for (metric_name, labels), c in sorted(self._counters.items()):
+                if metric_name == name:
+                    yield f"{name}{_label_suffix(labels)} {_fmt(c.value)}\n"
+        for name in sorted({n for n, _ in self._gauges}):
+            yield f"# TYPE {name} gauge\n"
+            for (metric_name, labels), g in sorted(self._gauges.items()):
+                if metric_name == name:
+                    yield f"{name}{_label_suffix(labels)} {_fmt(g.value)}\n"
+        for name in sorted({n for n, _ in self._histograms}):
+            yield f"# TYPE {name} histogram\n"
+            for (metric_name, labels), h in sorted(self._histograms.items()):
+                if metric_name != name:
+                    continue
+                for upper, count in h.cumulative():
+                    le = "+Inf" if upper == float("inf") else _fmt(upper)
+                    items = h.labels + (("le", le),)
+                    yield f"{name}_bucket{_label_suffix(items)} {count}\n"
+                yield f"{name}_sum{_label_suffix(h.labels)} {_fmt(h.sum)}\n"
+                yield f"{name}_count{_label_suffix(h.labels)} {h.count}\n"
+
+
+def _fmt(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+class NullRegistry(MetricsRegistry):
+    """API-compatible registry that records nothing.
+
+    Every instrument accessor returns one shared inert singleton, so
+    the uninstrumented hot path allocates nothing.  Installed as the
+    process-wide default by :mod:`repro.obs.runtime`.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=DEFAULT_LATENCY_BUCKETS, **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT

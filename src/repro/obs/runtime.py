@@ -1,0 +1,171 @@
+"""Process-wide metric collection: the default is off.
+
+One module-level registry serves every instrumented call site in the
+package.  By default it is a :class:`repro.obs.metrics.NullRegistry`,
+so uninstrumented runs pay one ``enabled`` check per call site and
+allocate nothing; :func:`enable` swaps in a live
+:class:`~repro.obs.metrics.MetricsRegistry` (idempotent),
+:func:`disable` swaps the null one back.
+
+Instrumented modules import *this module* and go through the helpers
+(``inc`` / ``observe`` / ``set_gauge`` / ``span``) rather than holding
+a registry reference, so enabling collection mid-process takes effect
+everywhere immediately — and the overhead bench can stub the helpers
+out to measure a truly uninstrumented baseline.
+
+Canonical metric names used across the serving path (DESIGN.md §4e):
+
+========================  =========  =======================================
+name                      kind       labels
+========================  =========  =======================================
+stage_latency_seconds     histogram  ``stage``: onset, outlier, filter,
+                                     normalize, frontend, extractor,
+                                     gallery_score, verify, identify
+batch_size                histogram  ``op``: embed, verify_many,
+                                     identify_many
+failures_total            counter    ``error``: BatchItemFailure.error
+decisions_total           counter    ``decision``: accept, reject, refusal
+eval_cache_total          counter    ``result``: hit, miss
+enrolled_users            gauge      --
+gallery_users             gauge      --
+========================  =========  =======================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from typing import Callable, Iterator
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+STAGE_LATENCY = "stage_latency_seconds"
+
+_NULL_REGISTRY = NullRegistry()
+_registry: MetricsRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (the shared null one when disabled)."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` process-wide; ``None`` restores the no-op."""
+    global _registry
+    _registry = registry if registry is not None else _NULL_REGISTRY
+    return _registry
+
+
+def enable() -> MetricsRegistry:
+    """Turn collection on (idempotent); returns the live registry."""
+    if not _registry.enabled:
+        set_registry(MetricsRegistry())
+    return _registry
+
+
+def disable() -> None:
+    """Turn collection off; the null registry absorbs all calls."""
+    set_registry(None)
+
+
+@contextlib.contextmanager
+def collecting(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Temporarily install a live registry (a fresh one by default).
+
+    The previous process-wide registry is restored on exit; the yielded
+    registry stays readable afterwards — the snapshot survives the
+    scope::
+
+        with obs.collecting() as registry:
+            system.verify_many(user, queue)
+        print(registry.to_prometheus())
+    """
+    previous = _registry
+    installed = set_registry(registry if registry is not None else MetricsRegistry())
+    try:
+        yield installed
+    finally:
+        set_registry(previous)
+
+
+# -- hot-path helpers ----------------------------------------------------
+#
+# Each checks ``enabled`` before touching labels, so the disabled cost
+# is one call + one attribute read + one branch.
+
+
+def inc(name: str, amount: float = 1.0, **labels: str) -> None:
+    registry = _registry
+    if registry.enabled:
+        registry.counter(name, **labels).inc(amount)
+
+
+def observe(
+    name: str,
+    value: float,
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    **labels: str,
+) -> None:
+    registry = _registry
+    if registry.enabled:
+        registry.histogram(name, buckets=buckets, **labels).observe(value)
+
+
+def observe_batch_size(op: str, size: int) -> None:
+    observe("batch_size", float(size), buckets=DEFAULT_SIZE_BUCKETS, op=op)
+
+
+def set_gauge(name: str, value: float, **labels: str) -> None:
+    registry = _registry
+    if registry.enabled:
+        registry.gauge(name, **labels).set(value)
+
+
+class span:
+    """Wall-clock timer for one pipeline stage.
+
+    Context manager *and* decorator; records one observation into the
+    ``stage_latency_seconds{stage=...}`` histogram of whichever
+    registry is live when the span opens (decorated functions pick up
+    an :func:`enable` issued after decoration).  When collection is
+    disabled the span neither reads the clock nor touches a histogram.
+    """
+
+    __slots__ = ("stage", "_registry", "_start")
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+        self._registry = None
+        self._start = 0.0
+
+    def __enter__(self) -> "span":
+        registry = _registry
+        if registry.enabled:
+            self._registry = registry
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        registry = self._registry
+        if registry is not None:
+            elapsed = time.perf_counter() - self._start
+            registry.histogram(STAGE_LATENCY, stage=self.stage).observe(elapsed)
+            self._registry = None
+        return False
+
+    def __call__(self, func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapped(*args, **kwargs):
+            with span(self.stage):
+                return func(*args, **kwargs)
+
+        return wrapped

@@ -1,0 +1,226 @@
+"""Unit and property tests for the observability subsystem.
+
+Covers the instrument semantics (counters, gauges, fixed-bucket
+histograms), the registry's get-or-create identity, the process-wide
+enable/disable runtime, the span timer, and the two invariants the
+exporters must uphold: histogram bucket counts always account for every
+observation, and a snapshot is serialization-stable (same state, same
+bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import STAGE_LATENCY
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", route="verify")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("enrolled_users")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 8.0
+
+    def test_histogram_buckets(self):
+        h = Histogram("lat", (), buckets=(0.1, 1.0))
+        for value in (0.05, 0.1, 0.5, 2.0):
+            h.observe(value)
+        # bisect_left: 0.05 and 0.1 land in the <=0.1 bucket (bound
+        # inclusive, Prometheus convention), 0.5 in <=1.0, 2.0 in +Inf.
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.cumulative() == [(0.1, 2), (1.0, 3), (float("inf"), 4)]
+        assert h.count == 4
+        assert h.sum == pytest.approx(2.65)
+
+    def test_histogram_validates_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", (), buckets=())
+        with pytest.raises(ValueError):
+            Histogram("x", (), buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", (), buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", cache="eval", dtype="float32")
+        b = registry.counter("hits", dtype="float32", cache="eval")
+        assert a is b
+
+    def test_distinct_labels_distinct_series(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits", k="1") is not registry.counter("hits", k="2")
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(0.1)
+        registry.reset()
+        snapshot = registry.to_dict()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_null_registry_is_inert(self):
+        registry = NullRegistry()
+        assert registry.enabled is False
+        registry.counter("a", k="v").inc()
+        registry.gauge("b").set(5)
+        registry.histogram("c").observe(1.0)
+        assert registry.to_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+        # The null instruments are shared singletons: no per-call garbage.
+        assert registry.counter("a") is registry.histogram("z")
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("failures_total", error="OnsetNotFoundError").inc(3)
+        registry.gauge("enrolled_users").set(2)
+        registry.histogram("lat", buckets=(0.5,), stage="onset").observe(0.1)
+        text = registry.to_prometheus()
+        assert '# TYPE failures_total counter\n' in text
+        assert 'failures_total{error="OnsetNotFoundError"} 3\n' in text
+        assert "enrolled_users 2\n" in text
+        assert 'lat_bucket{stage="onset",le="0.5"} 1\n' in text
+        assert 'lat_bucket{stage="onset",le="+Inf"} 1\n' in text
+        assert 'lat_count{stage="onset"} 1\n' in text
+
+
+class TestRuntime:
+    def test_default_is_noop(self):
+        assert obs.get_registry().enabled is False
+
+    def test_enable_disable_roundtrip(self):
+        try:
+            live = obs.enable()
+            assert live.enabled and obs.get_registry() is live
+            assert obs.enable() is live  # idempotent
+        finally:
+            obs.disable()
+        assert obs.get_registry().enabled is False
+
+    def test_collecting_restores_previous(self):
+        before = obs.get_registry()
+        with obs.collecting() as registry:
+            assert obs.get_registry() is registry
+            obs.inc("inside")
+        assert obs.get_registry() is before
+        assert registry.counter("inside").value == 1.0
+
+    def test_helpers_are_noop_when_disabled(self):
+        obs.inc("never")
+        obs.observe("never", 1.0)
+        obs.set_gauge("never", 1.0)
+        with obs.collecting() as registry:
+            pass
+        assert registry.to_dict()["counters"] == {}
+
+    def test_span_records_latency(self):
+        with obs.collecting() as registry:
+            with obs.span("teststage"):
+                time.sleep(0.002)
+        h = registry.histogram(STAGE_LATENCY, stage="teststage")
+        assert h.count == 1
+        assert 0.001 < h.sum < 1.0
+
+    def test_span_decorator_sees_late_enable(self):
+        @obs.span("decorated")
+        def work():
+            return 41 + 1
+
+        assert work() == 42  # disabled: no recording, value passes through
+        with obs.collecting() as registry:
+            assert work() == 42
+        assert registry.histogram(STAGE_LATENCY, stage="decorated").count == 1
+
+    def test_span_noop_when_disabled(self):
+        with obs.span("quiet"):
+            pass
+        with obs.collecting() as registry:
+            pass
+        assert registry.to_dict()["histograms"] == {}
+
+
+class TestMetricsProperties:
+    """The satellite invariants, property-tested."""
+
+    @given(st.lists(finite, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_accounts_for_every_observation(self, values):
+        h = Histogram("lat", (), buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in values:
+            h.observe(value)
+        assert h.count == len(values)
+        assert sum(h.bucket_counts) == len(values)
+        cumulative = h.cumulative()
+        counts = [c for _, c in cumulative]
+        assert counts == sorted(counts)  # cumulative counts are monotone
+        assert cumulative[-1][1] == len(values)  # +Inf catches everything
+        assert h.sum == pytest.approx(sum(float(v) for v in values), rel=1e-9)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alpha_total", "beta_total"]),
+                st.sampled_from(["", "x", "y"]),
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            ),
+            max_size=50,
+        ),
+        st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_is_serialization_stable(self, counter_ops, observations):
+        registry = MetricsRegistry()
+        for name, label, amount in counter_ops:
+            labels = {"k": label} if label else {}
+            registry.counter(name, **labels).inc(amount)
+        for value in observations:
+            registry.histogram("lat", stage="s").observe(value)
+        first_json = registry.to_json()
+        first_text = registry.to_prometheus()
+        # Reading a snapshot must not perturb state: byte-identical again.
+        assert registry.to_json() == first_json
+        assert registry.to_prometheus() == first_text
+        # And the JSON round-trips to exactly the to_dict() structure.
+        assert json.loads(first_json) == registry.to_dict()
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_prometheus_bucket_lines_match_histogram(self, values):
+        registry = MetricsRegistry()
+        for value in values:
+            registry.histogram("lat", buckets=(1.0, 10.0), stage="s").observe(value)
+        if not values:
+            return
+        text = registry.to_prometheus()
+        count_line = [l for l in text.splitlines() if l.startswith("lat_count")]
+        assert count_line == [f'lat_count{{stage="s"}} {len(values)}']
+        inf_line = [l for l in text.splitlines() if 'le="+Inf"' in l]
+        assert inf_line == [f'lat_bucket{{stage="s",le="+Inf"}} {len(values)}']

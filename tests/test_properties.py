@@ -178,3 +178,115 @@ class TestCancelableProperties:
             t = t.renew()
             assert t.seed not in seeds or len(seeds) > 5
             seeds.add(t.seed)
+
+
+class TestBatchOutcomeProperties:
+    """Invariants of the engine's per-batch bookkeeping type.
+
+    ``BatchOutcome`` carries the success/failure partition every server
+    response is built from; its constructor must reject any partition
+    that is inconsistent (wrong counts, unsorted or overlapping
+    indices), because downstream scatter/alignment silently produces
+    wrong answers otherwise.
+    """
+
+    @staticmethod
+    def _build(batch_size, failed_positions):
+        from repro.core.engine import BatchItemFailure, BatchOutcome
+
+        failed = sorted(set(failed_positions))
+        success = [i for i in range(batch_size) if i not in failed]
+        return BatchOutcome(
+            values=np.zeros((len(success), 3)),
+            indices=np.asarray(success, dtype=np.int64),
+            failures=tuple(
+                BatchItemFailure(index=i, error="OnsetNotFoundError", reason="x")
+                for i in failed
+            ),
+            batch_size=batch_size,
+        )
+
+    @given(st.integers(0, 24), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_partitions_hold_invariants(self, batch_size, data):
+        failed = data.draw(
+            st.lists(st.integers(0, max(0, batch_size - 1)), max_size=batch_size)
+            if batch_size
+            else st.just([])
+        )
+        outcome = self._build(batch_size, failed)
+        # The satellite invariants: counts partition the batch, success
+        # indices strictly increase, failures sorted by index.
+        assert outcome.num_ok + outcome.num_failed == outcome.batch_size
+        indices = list(outcome.indices)
+        assert indices == sorted(set(indices))
+        failure_indices = [f.index for f in outcome.failures]
+        assert failure_indices == sorted(set(failure_indices))
+        assert set(indices) | set(failure_indices) == set(range(batch_size))
+        # Derived views agree with the partition.
+        mask = outcome.ok_mask()
+        assert mask.sum() == outcome.num_ok
+        assert all(not mask[i] for i in failure_indices)
+        scattered = outcome.scatter(fill_value=-1.0)
+        assert scattered.shape == (batch_size, 3)
+        for i in failure_indices:
+            assert np.all(scattered[i] == -1.0)
+            assert outcome.failure_for(i) is not None
+        for i in indices:
+            assert np.all(scattered[i] == 0.0)
+            assert outcome.failure_for(i) is None
+
+    @given(st.integers(2, 16), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_unsorted_success_indices_rejected(self, batch_size, data):
+        import dataclasses
+
+        from repro.errors import ShapeError
+
+        outcome = self._build(batch_size, [])
+        swap = data.draw(st.integers(0, batch_size - 2))
+        indices = np.asarray(outcome.indices).copy()
+        indices[[swap, swap + 1]] = indices[[swap + 1, swap]]
+        with pytest.raises(ShapeError):
+            dataclasses.replace(outcome, indices=indices)
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_overlapping_partition_rejected(self, batch_size):
+        import dataclasses
+
+        from repro.core.engine import BatchItemFailure
+        from repro.errors import ShapeError
+
+        outcome = self._build(batch_size, [])
+        # Claim position 0 failed *as well as* succeeded: counts now
+        # exceed the batch unless an index is dropped; both are invalid.
+        duplicate = BatchItemFailure(index=0, error="X", reason="dup")
+        with pytest.raises(ShapeError):
+            dataclasses.replace(outcome, failures=(duplicate,))
+        with pytest.raises(ShapeError):
+            dataclasses.replace(
+                outcome,
+                values=outcome.values[1:],
+                indices=np.asarray(outcome.indices)[1:],
+                failures=(
+                    BatchItemFailure(index=batch_size, error="X", reason="oob"),
+                ),
+            )
+
+    @given(st.integers(2, 16), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_unsorted_failures_rejected(self, batch_size, data):
+        import dataclasses
+
+        from repro.errors import ShapeError
+
+        failed = data.draw(
+            st.lists(
+                st.integers(0, batch_size - 1), min_size=2, max_size=batch_size
+            ).filter(lambda xs: len(set(xs)) >= 2)
+        )
+        outcome = self._build(batch_size, failed)
+        reversed_failures = tuple(reversed(outcome.failures))
+        with pytest.raises(ShapeError):
+            dataclasses.replace(outcome, failures=reversed_failures)
