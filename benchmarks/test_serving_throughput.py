@@ -1,0 +1,67 @@
+"""Serving layer: micro-batched throughput vs the sequential baseline.
+
+Drives :func:`repro.serve.loadgen.serving_benchmark` — the same suite
+behind ``python -m repro serve-bench`` — and asserts the acceptance
+bars of the serving layer:
+
+* closed-loop throughput >= 5x the sequential one-at-a-time loop
+  (>= 2x under ``SERVE_QUICK=1``, where the tiny request counts leave
+  the micro-batches half empty);
+* idle-arrival p99 latency within the coalescing policy bound
+  (``max_wait_ms`` + the single-service p99 + two GIL switch
+  intervals);
+* overload on a small queue actually sheds or rejects instead of
+  queueing without bound.
+
+Results land in ``BENCH_serving.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.serve.loadgen import serving_benchmark
+
+from conftest import once
+
+QUICK = os.environ.get("SERVE_QUICK", "") == "1"
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+SPEEDUP_BAR = 2.0 if QUICK else 5.0
+
+
+def test_serving_throughput_and_policy(benchmark):
+    report = once(
+        benchmark,
+        lambda: serving_benchmark(quick=QUICK, output=RESULTS_PATH),
+    )
+
+    sequential = report["sequential"]
+    closed = report["closed_loop"]
+    idle = report["idle"]
+    overload = report["open_loop"]
+    print()
+    print(
+        f"serving ({'quick' if QUICK else 'full'}): "
+        f"sequential {sequential['throughput_rps']:.0f} req/s, "
+        f"closed-loop {closed['throughput_rps']:.0f} req/s "
+        f"({report['speedup_vs_sequential']:.1f}x, "
+        f"occupancy {closed['mean_batch_occupancy']:.1f}), "
+        f"idle p99 {idle['p99_ms']:.1f} ms (bound {idle['bound_ms']:.1f} ms), "
+        f"overload shed {overload['expired']} / rejected {overload['rejected']}"
+    )
+
+    # Everything accepted in the cooperative phases actually completed.
+    assert sequential["failed"] == 0 and closed["failed"] == 0
+    assert closed["rejected"] == 0 and closed["expired"] == 0
+    assert closed["mean_batch_occupancy"] > 1.0  # coalescing happened
+
+    assert report["speedup_vs_sequential"] >= SPEEDUP_BAR
+    assert idle["within_bound"], (
+        f"idle p99 {idle['p99_ms']:.1f} ms exceeds policy bound "
+        f"{idle['bound_ms']:.1f} ms"
+    )
+    # Overload (2x the measured batched capacity into an 8-slot queue)
+    # must trigger backpressure, not unbounded queueing.
+    assert overload["expired"] + overload["rejected"] >= 1
+    assert overload["failed"] == 0

@@ -27,6 +27,7 @@ from repro.config import (
     PreprocessConfig,
     SamplingConfig,
     SecurityConfig,
+    ServingConfig,
     TrainingConfig,
 )
 from repro.core import (
@@ -47,12 +48,15 @@ from repro.obs import MetricsRegistry
 from repro.imu import IDEAL_IMU, MPU6050, MPU9250, Recorder
 from repro.physio import PersonProfile, RecordingCondition, sample_population
 from repro.security import CancelableTransform, SecureEnclave
+from repro.serve import AuthFuture, AuthServer, RequestStatus
 from repro.types import Activity, EarSide, Gender, Mouthful, Tone, VerificationResult
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Activity",
+    "AuthFuture",
+    "AuthServer",
     "BatchItemFailure",
     "BatchOutcome",
     "CancelableTransform",
@@ -77,9 +81,11 @@ __all__ = [
     "Recorder",
     "RecordingCondition",
     "ReproError",
+    "RequestStatus",
     "SamplingConfig",
     "SecureEnclave",
     "SecurityConfig",
+    "ServingConfig",
     "SynthDataset",
     "Tone",
     "TrainingConfig",

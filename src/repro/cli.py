@@ -9,6 +9,9 @@ Commands:
 * ``demo``        -- enroll-and-verify walk-through on a small model.
 * ``metrics``     -- run an instrumented batch verify and print the
                      observability snapshot (Prometheus text or JSON).
+* ``serve-bench`` -- load-test the concurrent serving layer (dynamic
+                     micro-batching) against a sequential baseline and
+                     write ``BENCH_serving.json``.
 """
 
 from __future__ import annotations
@@ -189,6 +192,42 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import serving_benchmark
+
+    report = serving_benchmark(
+        quick=args.quick,
+        dtype=args.dtype,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.wait_ms,
+        num_clients=args.clients,
+        requests_per_client=args.requests,
+        output=args.output,
+    )
+    seq = report["sequential"]
+    closed = report["closed_loop"]
+    idle = report["idle"]
+    overload = report["open_loop"]
+    print(f"serving benchmark ({'quick' if args.quick else 'full'} mode, "
+          f"{report['config']['dtype']}, batch<= {args.batch_size}, "
+          f"wait {args.wait_ms} ms)")
+    print(f"  sequential : {seq['throughput_rps']:8.1f} req/s "
+          f"({seq['completed']} requests, p50 {seq['p50_ms']:.1f} ms)")
+    print(f"  closed loop: {closed['throughput_rps']:8.1f} req/s "
+          f"({closed['completed']} requests, p50 {closed['p50_ms']:.1f} ms, "
+          f"p99 {closed['p99_ms']:.1f} ms, "
+          f"occupancy {closed['mean_batch_occupancy']:.1f})")
+    print(f"  speedup    : {report['speedup_vs_sequential']:8.1f}x vs sequential")
+    print(f"  idle p99   : {idle['p99_ms']:8.1f} ms "
+          f"(policy bound {idle['bound_ms']:.1f} ms)")
+    print(f"  overload   : {overload['completed']} served, "
+          f"{overload['expired']} shed, {overload['rejected']} rejected "
+          f"at {overload['offered_rps']:.0f} req/s offered")
+    if args.output:
+        print(f"# report written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -230,6 +269,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="also write the JSON snapshot here"
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="micro-batched serving throughput vs a sequential loop",
+    )
+    serve_bench.add_argument("--quick", action="store_true",
+                             help="CI smoke: small request counts")
+    serve_bench.add_argument("--clients", type=int, default=None,
+                             help="closed-loop client threads")
+    serve_bench.add_argument("--requests", type=int, default=None,
+                             help="requests per closed-loop client")
+    serve_bench.add_argument("--batch-size", type=int, default=64)
+    serve_bench.add_argument("--wait-ms", type=float, default=4.0)
+    serve_bench.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float32"
+    )
+    serve_bench.add_argument(
+        "--output", default="BENCH_serving.json",
+        help="write the JSON report here",
+    )
+    serve_bench.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

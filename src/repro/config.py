@@ -177,6 +177,46 @@ class InferenceConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Concurrent-serving policy for :class:`repro.serve.AuthServer`.
+
+    The dynamic batcher dispatches the batch at the head of its FIFO as
+    soon as either ``max_batch_size`` coalescible requests are queued
+    or the head request has waited ``max_wait_ms`` — so an idle-arrival
+    request pays at most ``max_wait_ms`` of queueing plus one batch
+    service time, and a loaded queue ships full batches.
+
+    Attributes:
+        max_batch_size: upper bound on one micro-batch handed to the
+            batch engine.  64 matches the hot-path benchmark's sweet
+            spot (BENCH_hotpath.json).
+        max_wait_ms: longest a queued request may wait for co-batching
+            before being dispatched in a partial batch.
+        queue_capacity: admission bound on queued requests; submissions
+            beyond it resolve as explicitly *rejected* rather than
+            growing an unbounded heap.
+        num_workers: batch-draining worker threads.  One worker already
+            saturates a single-core host (the forward holds the BLAS);
+            more overlap queueing with compute on multi-core hosts.
+        drain_timeout_s: how long ``stop(drain=True)`` waits for the
+            workers to finish the accepted backlog.
+    """
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 5.0
+    queue_capacity: int = 1024
+    num_workers: int = 1
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        _require(self.max_batch_size > 0, "max_batch_size must be positive")
+        _require(self.max_wait_ms >= 0.0, "max_wait_ms must be non-negative")
+        _require(self.queue_capacity > 0, "queue_capacity must be positive")
+        _require(self.num_workers > 0, "num_workers must be positive")
+        _require(self.drain_timeout_s > 0, "drain_timeout_s must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
 class SecurityConfig:
     """Cancelable-template parameters (Section VI)."""
 
@@ -216,6 +256,7 @@ class MandiPassConfig:
     security: SecurityConfig = dataclasses.field(default_factory=SecurityConfig)
     decision: DecisionConfig = dataclasses.field(default_factory=DecisionConfig)
     inference: InferenceConfig = dataclasses.field(default_factory=InferenceConfig)
+    serving: ServingConfig = dataclasses.field(default_factory=ServingConfig)
 
     def __post_init__(self) -> None:
         _require(

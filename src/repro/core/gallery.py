@@ -13,6 +13,14 @@ einsum (the cosine numerators).
 The gallery is a derived cache: the system facade rebuilds it lazily
 and invalidates it whenever the enrolled set or a sealed template
 changes (enroll / revoke / renew / template adaptation).
+
+Concurrency contract: a gallery is **immutable after construction**
+(``__init__`` finishes the stacked projection and the pre-normalised
+templates before the object escapes), so any number of serving workers
+may call :meth:`distances_batch` concurrently on one instance.  The
+facade builds replacements off to the side and swaps them in atomically
+(build-then-swap under its read/write lock, DESIGN.md §4f); a stack
+under construction is never reachable from a scoring thread.
 """
 
 from __future__ import annotations

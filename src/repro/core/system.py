@@ -7,6 +7,7 @@ API of Fig. 3.  One instance models one earphone.
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -23,6 +24,7 @@ from repro.dsp.pipeline import Preprocessor
 from repro.errors import ConfigError, EnrollmentError, SignalError, VerificationError
 from repro.obs import runtime as obs
 from repro.security.cancelable import CancelableTransform
+from repro.serve.locks import RWLock
 from repro.security.enclave import SecureEnclave
 from repro.types import RawRecording, VerificationResult
 
@@ -67,6 +69,18 @@ class MandiPass:
         # Derived 1:N scoring cache; rebuilt lazily, dropped whenever
         # the enrolled set or a sealed template changes.
         self._gallery: TemplateGallery | None = None
+        # Concurrency contract (DESIGN.md §4f): scoring entry points
+        # (verify_many / identify_many / verify_presented) take the
+        # read side and may run concurrently from serving workers;
+        # template mutations (enroll / revoke / renew / adapt_template)
+        # take the write side, so gallery invalidation and template
+        # swaps can never race an in-flight batch.  The read side is
+        # never nested (the lock is not read-reentrant).
+        self._rwlock = RWLock()
+        # Serializes the lazy gallery build: readers build off to the
+        # side and swap the finished object in, so a concurrent
+        # identify never observes a partially constructed stack.
+        self._gallery_build_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -91,14 +105,20 @@ class MandiPass:
             output_dim=self.config.security.projected_dim,
             seed=seed,
         )
-        result = enroll_user(
-            user_id, self.model, self.preprocessor, self.frontend, recordings, transform
-        )
-        self._transforms[user_id] = transform
-        self.enclave.seal(user_id, result.cancelable_template, transform.seed)
-        self._gallery = None
-        obs.set_gauge("enrolled_users", len(self._transforms))
-        return result.used_recordings
+        with self._rwlock.write_locked():
+            result = enroll_user(
+                user_id,
+                self.model,
+                self.preprocessor,
+                self.frontend,
+                recordings,
+                transform,
+            )
+            self._transforms[user_id] = transform
+            self.enclave.seal(user_id, result.cancelable_template, transform.seed)
+            self._gallery = None
+            obs.set_gauge("enrolled_users", len(self._transforms))
+            return result.used_recordings
 
     def is_enrolled(self, user_id: str) -> bool:
         return self.enclave.contains(user_id)
@@ -125,26 +145,28 @@ class MandiPass:
         the maximum distance, exactly as :meth:`verify` would reject
         them one at a time.
         """
-        transform = self._transforms.get(user_id)
-        if transform is None:
-            raise VerificationError(f"user {user_id!r} is not enrolled")
-        record = self.enclave.unseal(user_id)
-        with obs.span("verify"):
-            obs.observe_batch_size("verify_many", len(recordings))
-            return verify_batch(
-                user_id=user_id,
-                engine=self.engine,
-                recordings=recordings,
-                template=np.asarray(record.template),
-                transform=transform,
-                threshold=self.config.decision.threshold,
-            )
+        with self._rwlock.read_locked():
+            transform = self._transforms.get(user_id)
+            if transform is None:
+                raise VerificationError(f"user {user_id!r} is not enrolled")
+            record = self.enclave.unseal(user_id)
+            with obs.span("verify"):
+                obs.observe_batch_size("verify_many", len(recordings))
+                return verify_batch(
+                    user_id=user_id,
+                    engine=self.engine,
+                    recordings=recordings,
+                    template=np.asarray(record.template),
+                    transform=transform,
+                    threshold=self.config.decision.threshold,
+                )
 
     def verify_presented(
         self, user_id: str, presented: np.ndarray
     ) -> VerificationResult:
         """Decide a raw presented vector (the replay-attack surface)."""
-        record = self.enclave.unseal(user_id)
+        with self._rwlock.read_locked():
+            record = self.enclave.unseal(user_id)
         return verify_presented_vector(
             user_id=user_id,
             presented=presented,
@@ -161,20 +183,33 @@ class MandiPass:
         revoke, renew, adapt) and drops the cache; sealing templates
         into the enclave behind the facade's back leaves a stale
         gallery.
+
+        Callers hold the read lock, so mutations are excluded while a
+        build runs; the build itself happens off to the side under a
+        dedicated mutex and the finished gallery is swapped in with one
+        attribute assignment (build-then-swap), so concurrent readers
+        only ever observe ``None`` or a fully constructed stack — and
+        racing readers never build the same gallery twice.
         """
+        gallery = self._gallery
+        if gallery is not None:
+            return gallery
         if not self._transforms:
             return None
-        if self._gallery is None:
-            user_ids = list(self._transforms)
-            self._gallery = TemplateGallery(
-                user_ids=user_ids,
-                matrices=[self._transforms[uid].matrix for uid in user_ids],
-                templates=[
-                    np.asarray(self.enclave.unseal(uid).template)
-                    for uid in user_ids
-                ],
-            )
-        return self._gallery
+        with self._gallery_build_lock:
+            gallery = self._gallery
+            if gallery is None:
+                user_ids = list(self._transforms)
+                gallery = TemplateGallery(
+                    user_ids=user_ids,
+                    matrices=[self._transforms[uid].matrix for uid in user_ids],
+                    templates=[
+                        np.asarray(self.enclave.unseal(uid).template)
+                        for uid in user_ids
+                    ],
+                )
+                self._gallery = gallery
+        return gallery
 
     def identify(self, recording: RawRecording) -> VerificationResult | None:
         """1:N identification: find the closest enrolled user.
@@ -202,7 +237,7 @@ class MandiPass:
         ``None`` marks a recording with no usable vibration (or an
         empty enrolled set), exactly as :meth:`identify` reports it.
         """
-        with obs.span("identify"):
+        with self._rwlock.read_locked(), obs.span("identify"):
             obs.observe_batch_size("identify_many", len(recordings))
             gallery = self._current_gallery()
             results: list[VerificationResult | None] = [None] * len(recordings)
@@ -254,43 +289,52 @@ class MandiPass:
         """
         if not 0.0 < rate < 1.0:
             raise ConfigError("rate must lie in (0, 1)")
-        transform = self._transforms.get(user_id)
-        if transform is None:
-            raise VerificationError(f"user {user_id!r} is not enrolled")
-        try:
-            embedding = self.engine.embed_one(recording)
-        except SignalError:
-            return False
-        probe = transform.apply(embedding)
-        record = self.enclave.unseal(user_id)
-        template = np.asarray(record.template)
-        if not accept(cosine_distance(probe, template), self.config.decision.threshold):
-            return False
-        updated = (1.0 - rate) * template + rate * probe
-        self.enclave.seal(user_id, updated, transform.seed)
-        self._gallery = None
-        return True
+        with self._rwlock.write_locked():
+            transform = self._transforms.get(user_id)
+            if transform is None:
+                raise VerificationError(f"user {user_id!r} is not enrolled")
+            try:
+                embedding = self.engine.embed_one(recording)
+            except SignalError:
+                return False
+            probe = transform.apply(embedding)
+            record = self.enclave.unseal(user_id)
+            template = np.asarray(record.template)
+            if not accept(
+                cosine_distance(probe, template), self.config.decision.threshold
+            ):
+                return False
+            updated = (1.0 - rate) * template + rate * probe
+            self.enclave.seal(user_id, updated, transform.seed)
+            self._gallery = None
+            return True
 
     def stored_template(self, user_id: str) -> np.ndarray:
         """The sealed cancelable template (what a thief could exfiltrate)."""
-        return np.asarray(self.enclave.unseal(user_id).template)
+        with self._rwlock.read_locked():
+            return np.asarray(self.enclave.unseal(user_id).template)
 
     def revoke(self, user_id: str) -> None:
         """Invalidate a user's template after suspected theft."""
-        self.enclave.revoke(user_id)
-        self._transforms.pop(user_id, None)
-        self._gallery = None
-        obs.set_gauge("enrolled_users", len(self._transforms))
+        with self._rwlock.write_locked():
+            self.enclave.revoke(user_id)
+            self._transforms.pop(user_id, None)
+            self._gallery = None
+            obs.set_gauge("enrolled_users", len(self._transforms))
 
     def renew(
         self, user_id: str, recordings: list[RawRecording]
     ) -> int:
         """Revoke and re-enroll with a freshly drawn Gaussian matrix."""
-        old = self._transforms.get(user_id)
-        if self.enclave.contains(user_id):
-            self.enclave.revoke(user_id)
-        new_seed = (old.renew().seed if old is not None else None)
-        return self.enroll(user_id, recordings, transform_seed=new_seed)
+        # The write lock is reentrant: the nested enroll() re-acquires
+        # it, so revocation and re-enrollment form one atomic mutation
+        # from a concurrent reader's point of view.
+        with self._rwlock.write_locked():
+            old = self._transforms.get(user_id)
+            if self.enclave.contains(user_id):
+                self.enclave.revoke(user_id)
+            new_seed = (old.renew().seed if old is not None else None)
+            return self.enroll(user_id, recordings, transform_seed=new_seed)
 
     # ------------------------------------------------------------------
 

@@ -67,3 +67,18 @@ class EnrollmentError(ReproError):
 
 class VerificationError(ReproError):
     """A verification request could not be evaluated (not a rejection)."""
+
+
+class ServingError(ReproError):
+    """Base class for concurrent-serving (:mod:`repro.serve`) errors."""
+
+
+class AdmissionRejectedError(ServingError):
+    """A request was refused admission (bounded queue full, or the
+    server is stopped).  The caller should retry later or shed load;
+    the request was never evaluated."""
+
+
+class DeadlineExpiredError(ServingError):
+    """A queued request's deadline passed before a worker could batch
+    it; the request was shed without being evaluated."""

@@ -16,6 +16,7 @@ buffers on every call.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -29,25 +30,44 @@ from repro.errors import ShapeError
 #: layers at one batch shape occupy six slots.
 _MAX_WORKSPACES = 16
 
-_WORKSPACES: OrderedDict[tuple, dict[str, np.ndarray]] = OrderedDict()
+
+class _ThreadLocalWorkspaces(threading.local):
+    """Per-thread im2col workspace pools.
+
+    ``reuse=True`` hands out *aliased* buffers (the returned columns
+    are only valid until the next same-shape call), so the pool must
+    never be shared between threads: two concurrent eval forwards at
+    the same shape signature would gather into the same column buffer
+    mid-gemm.  A ``threading.local`` pool keeps the aliasing contract
+    single-threaded while each serving worker keeps its own buffers
+    warm; the memory cost is one pool (≤ ``_MAX_WORKSPACES`` slots) per
+    thread that runs reuse-mode forwards.
+    """
+
+    def __init__(self) -> None:
+        self.pools: OrderedDict[tuple, dict[str, np.ndarray]] = OrderedDict()
+
+
+_WORKSPACES = _ThreadLocalWorkspaces()
 
 
 def _workspace(key: tuple) -> dict[str, np.ndarray]:
     """The (LRU-bounded) buffer dict for one im2col shape signature."""
-    ws = _WORKSPACES.get(key)
+    pools = _WORKSPACES.pools
+    ws = pools.get(key)
     if ws is None:
         ws = {}
-        _WORKSPACES[key] = ws
-        if len(_WORKSPACES) > _MAX_WORKSPACES:
-            _WORKSPACES.popitem(last=False)
+        pools[key] = ws
+        if len(pools) > _MAX_WORKSPACES:
+            pools.popitem(last=False)
     else:
-        _WORKSPACES.move_to_end(key)
+        pools.move_to_end(key)
     return ws
 
 
 def clear_workspaces() -> None:
-    """Drop every cached im2col workspace (frees the buffers)."""
-    _WORKSPACES.clear()
+    """Drop the calling thread's im2col workspaces (frees the buffers)."""
+    _WORKSPACES.pools.clear()
 
 
 def pad2d(x: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:

@@ -21,9 +21,19 @@ scale/shift so the eval forward is a single multiply-add per layer.
 Those derived caches are invalidated whenever parameters may have
 changed: on the train→eval transition (optimisers step in train mode)
 and on ``load_state``.
+
+Eval-mode forwards are safe to run concurrently (the serving layer's
+worker threads share one extractor): the only state an eval forward
+touches is the per-module eval cache, whose first-touch population is
+guarded by a per-module lock — two workers racing the same (key, dtype)
+entry can neither double-build it nor observe a half-built value.
+Training-mode forwards remain single-threaded by contract (they mutate
+activation caches and BatchNorm running statistics).
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -39,16 +49,30 @@ class Module:
     def __init__(self) -> None:
         self.training = True
         self._eval_cache: dict = {}
+        self._eval_cache_lock = threading.Lock()
 
     def _eval_cached(self, key: str, dtype: np.dtype, builder):
-        """Memoise ``builder()`` per (key, dtype) for eval-mode forwards."""
+        """Memoise ``builder()`` per (key, dtype) for eval-mode forwards.
+
+        Double-checked under a per-module lock: concurrent eval
+        forwards (serving workers) hit the fast path with no lock once
+        the entry exists, and a first-touch race builds exactly once —
+        never twice, and never exposes a half-built entry (the dict
+        publication happens after ``builder()`` returns).
+        """
         cache_key = (key, np.dtype(dtype))
         entry = self._eval_cache.get(cache_key)
-        if entry is None:
-            entry = self._eval_cache[cache_key] = builder()
-            obs.inc("eval_cache_total", result="miss")
-        else:
+        if entry is not None:
             obs.inc("eval_cache_total", result="hit")
+            return entry
+        with self._eval_cache_lock:
+            entry = self._eval_cache.get(cache_key)
+            if entry is None:
+                entry = builder()
+                self._eval_cache[cache_key] = entry
+                obs.inc("eval_cache_total", result="miss")
+            else:
+                obs.inc("eval_cache_total", result="hit")
         return entry
 
     # -- traversal ------------------------------------------------------

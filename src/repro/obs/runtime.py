@@ -29,6 +29,20 @@ eval_cache_total          counter    ``result``: hit, miss
 enrolled_users            gauge      --
 gallery_users             gauge      --
 ========================  =========  =======================================
+
+The serving layer (:mod:`repro.serve`, DESIGN.md §4f) adds:
+
+========================  =========  =======================================
+name                      kind       labels
+========================  =========  =======================================
+serve_queue_depth         gauge      --
+serve_queue_wait_seconds  histogram  --  (admission to dispatch)
+serve_batch_occupancy     histogram  --  (requests per micro-batch)
+serve_latency_seconds     histogram  --  (submit to resolved, end-to-end)
+serve_requests_total      counter    ``kind``: verify, identify
+serve_rejected_total      counter    --  (admission control)
+serve_shed_total          counter    --  (deadline expired while queued)
+========================  =========  =======================================
 """
 
 from __future__ import annotations

@@ -1,0 +1,42 @@
+"""Concurrent serving: dynamic micro-batching with backpressure.
+
+The batch engine (PR 1) and the float32 hot path (PR 2) made *batched*
+verification an order of magnitude cheaper per request than the
+one-at-a-time loop — but only for callers that hand-build batches.
+This subsystem serves the traffic shape real deployments actually see,
+concurrent independent single requests, by coalescing them:
+
+* :class:`~repro.serve.server.AuthServer` — Future-style single-request
+  facade with optional per-request deadlines, worker threads, graceful
+  drain-on-shutdown;
+* :class:`~repro.serve.batcher.DynamicBatcher` — bounded admission
+  queue forming key-homogeneous micro-batches under a
+  ``(max_batch_size, max_wait_ms)`` policy, shedding expired requests;
+* :class:`~repro.serve.locks.RWLock` — the readers/writer lock that
+  serializes template mutations against in-flight scoring batches;
+* :mod:`~repro.serve.loadgen` — closed/open-loop load generation
+  behind ``python -m repro serve-bench`` (imported lazily; it drags in
+  the recording substrate).
+
+See DESIGN.md §4f for the batching policy and the locking contract.
+"""
+
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.locks import RWLock
+from repro.serve.server import (
+    AuthFuture,
+    AuthServer,
+    RequestKind,
+    RequestStatus,
+    ServeRequest,
+)
+
+__all__ = [
+    "AuthFuture",
+    "AuthServer",
+    "DynamicBatcher",
+    "RWLock",
+    "RequestKind",
+    "RequestStatus",
+    "ServeRequest",
+]

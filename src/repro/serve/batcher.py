@@ -1,0 +1,224 @@
+"""Dynamic micro-batching: coalesce queued requests under a policy.
+
+Production inference servers (clipper/triton-style dynamic batchers)
+win their throughput by coalescing independent single requests into one
+batched model call.  :class:`DynamicBatcher` is that request-coalescing
+core, kept free of any inference knowledge: items are opaque objects
+exposing three attributes —
+
+``key``
+    batchable-together identity.  A batch is always homogeneous in
+    ``key`` (the server keys verify requests by user and identify
+    requests globally, because ``verify_many`` takes one template).
+``deadline``
+    absolute :func:`time.monotonic` instant after which the item must
+    be *shed* instead of served, or ``None``.
+``enqueued_at``
+    stamped by :meth:`offer`; the batcher reads it back for the
+    ``max_wait`` policy and the queue-wait histogram.
+
+Policy: a worker blocked in :meth:`next_batch` dispatches the batch at
+the head of the FIFO as soon as **either** ``max_batch_size`` items of
+the head key are queued **or** the head item has waited ``max_wait_s``
+(so an idle-arrival request pays at most ``max_wait_s`` of queueing,
+and a loaded queue ships full batches).  A closing batcher dispatches
+immediately — drain never waits out the coalescing timer.
+
+Admission control is a bounded FIFO: :meth:`offer` returns ``False``
+instead of growing an unbounded heap; the caller translates that into
+an explicit rejected result.  Expired items are shed inside
+:meth:`next_batch` via the ``on_shed`` callback (invoked with no lock
+held) and never reach a worker.
+
+Instrumented through :mod:`repro.obs`: ``serve_queue_depth`` gauge,
+``serve_queue_wait_seconds`` and ``serve_batch_occupancy`` histograms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.obs import runtime as obs
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
+
+class DynamicBatcher:
+    """Bounded FIFO that hands out key-homogeneous micro-batches.
+
+    Args:
+        max_batch_size: upper bound on one dispatched batch.
+        max_wait_s: longest the head request may wait for co-batching
+            before a partial batch is dispatched anyway.
+        capacity: admission bound on queued (not yet dispatched) items.
+        on_shed: called once per expired item, outside the lock.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        max_wait_s: float,
+        capacity: int,
+        on_shed: Callable[[object], None] | None = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ConfigError("max_batch_size must be positive")
+        if max_wait_s < 0:
+            raise ConfigError("max_wait_s must be non-negative")
+        if capacity <= 0:
+            raise ConfigError("capacity must be positive")
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.capacity = capacity
+        self._on_shed = on_shed
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+        self._closed = False
+
+    # -- producer side --------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of queued, not-yet-dispatched items."""
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def offer(self, item) -> bool:
+        """Admit ``item``; False when full or closed (never blocks)."""
+        with self._cond:
+            if self._closed or len(self._items) >= self.capacity:
+                return False
+            item.enqueued_at = time.monotonic()
+            self._items.append(item)
+            obs.set_gauge("serve_queue_depth", len(self._items))
+            self._cond.notify_all()
+        return True
+
+    def close(self) -> None:
+        """Stop admitting; queued items still drain through workers."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_pending(self) -> list:
+        """Remove and return every queued item (for non-drain stops)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            obs.set_gauge("serve_queue_depth", 0)
+            self._cond.notify_all()
+        return items
+
+    # -- consumer side --------------------------------------------------
+
+    def next_batch(self) -> list | None:
+        """Block until a micro-batch is ready; None once closed + empty.
+
+        Expired items encountered while waiting are shed promptly (the
+        ``on_shed`` callback runs between lock sections, so a future
+        blocked on a shed request resolves without waiting for the next
+        dispatch).
+        """
+        while True:
+            shed: list = []
+            batch: list | None = None
+            closed_and_empty = False
+            with self._cond:
+                while True:
+                    now = time.monotonic()
+                    shed = self._pop_expired_locked(now)
+                    if shed:
+                        break  # resolve outside the lock, then retry
+                    if self._items:
+                        ready, wait = self._head_policy_locked(now)
+                        if ready:
+                            batch = self._take_head_batch_locked()
+                            break
+                        self._cond.wait(wait)
+                    elif self._closed:
+                        closed_and_empty = True
+                        break
+                    else:
+                        self._cond.wait()
+            for item in shed:
+                if self._on_shed is not None:
+                    self._on_shed(item)
+            if batch is not None:
+                dispatched = time.monotonic()
+                for item in batch:
+                    obs.observe(
+                        "serve_queue_wait_seconds", dispatched - item.enqueued_at
+                    )
+                obs.observe(
+                    "serve_batch_occupancy",
+                    float(len(batch)),
+                    buckets=DEFAULT_SIZE_BUCKETS,
+                )
+                return batch
+            if closed_and_empty:
+                return None
+            # else: only shed items this round; go wait again.
+
+    # -- internals (lock held) ------------------------------------------
+
+    def _pop_expired_locked(self, now: float) -> list:
+        if not any(
+            item.deadline is not None and item.deadline <= now
+            for item in self._items
+        ):
+            return []
+        shed = []
+        alive: deque = deque()
+        for item in self._items:
+            if item.deadline is not None and item.deadline <= now:
+                shed.append(item)
+            else:
+                alive.append(item)
+        self._items = alive
+        obs.set_gauge("serve_queue_depth", len(self._items))
+        return shed
+
+    def _head_policy_locked(self, now: float) -> tuple[bool, float]:
+        """(ready, wait_s) for the batch at the head of the FIFO."""
+        head = self._items[0]
+        if self._closed:
+            return True, 0.0
+        if now - head.enqueued_at >= self.max_wait_s:
+            return True, 0.0
+        count = 0
+        for item in self._items:
+            if item.key == head.key:
+                count += 1
+                if count >= self.max_batch_size:
+                    return True, 0.0
+        # Sleep until the head's coalescing window closes or the
+        # nearest request deadline expires, whichever comes first.
+        wake = head.enqueued_at + self.max_wait_s
+        for item in self._items:
+            if item.deadline is not None and item.deadline < wake:
+                wake = item.deadline
+        return False, max(wake - now, 1e-4)
+
+    def _take_head_batch_locked(self) -> list:
+        key = self._items[0].key
+        batch: list = []
+        rest: deque = deque()
+        for item in self._items:
+            if len(batch) < self.max_batch_size and item.key == key:
+                batch.append(item)
+            else:
+                rest.append(item)
+        self._items = rest
+        obs.set_gauge("serve_queue_depth", len(self._items))
+        if self._items:
+            # Another worker may already have a dispatchable batch.
+            self._cond.notify_all()
+        return batch

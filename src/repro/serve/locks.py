@@ -1,0 +1,107 @@
+"""A writer-preferring read/write lock for the serving layer.
+
+The :class:`MandiPass` facade serves two traffic classes with very
+different shapes: scoring (``verify_many`` / ``identify_many``), which
+only reads the enrolled state and may run concurrently from several
+batch workers, and template mutations (``enroll`` / ``revoke`` /
+``renew`` / ``adapt_template``), which must observe *no* in-flight
+batch while they swap templates and invalidate the derived gallery.
+:class:`RWLock` gives readers shared access and writers exclusive
+access, with writer preference so a steady stream of verification
+batches cannot starve an enrollment forever.
+
+Contract (kept deliberately small):
+
+* the **write side is reentrant** — a writer may re-acquire the write
+  lock (``renew`` enrolls under its own write section) and may also
+  acquire the read side without deadlocking;
+* the **read side is not reentrant** — a reader that re-enters while a
+  writer is queued would deadlock against the writer preference, so
+  facade methods never nest read sections.
+
+Only :mod:`threading` primitives are used; no dependencies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator
+
+
+class RWLock:
+    """Shared-read / exclusive-write lock, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None  # owning thread ident
+        self._write_depth = 0
+        self._writers_waiting = 0
+
+    # -- read side ------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # The write owner may read inside its own critical
+                # section; account it as nested write depth so the
+                # release order does not matter.
+                self._write_depth += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth -= 1
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side -----------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers -----------------------------------------------
+
+    @contextlib.contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

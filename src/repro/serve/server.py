@@ -1,0 +1,334 @@
+"""The concurrent serving facade: single requests in, micro-batches out.
+
+Real authentication traffic arrives as independent single probes — one
+'EMM' per earphone per attempt — so the throughput won by the batch
+engine (``verify_many`` / ``identify_many``) is unreachable unless
+*something* coalesces concurrent requests.  :class:`AuthServer` is that
+layer:
+
+* callers submit one recording at a time (:meth:`verify` /
+  :meth:`identify`) and get an :class:`AuthFuture` back immediately;
+* a :class:`~repro.serve.batcher.DynamicBatcher` coalesces queued
+  requests into key-homogeneous micro-batches under the configured
+  ``(max_batch_size, max_wait_ms)`` policy, shedding requests whose
+  per-request deadline expired while queued;
+* worker threads drain batches into the underlying
+  :class:`~repro.core.system.MandiPass` batch APIs and fan the results
+  back out, one per future, in submission order within the batch.
+
+Admission control is explicit: a full bounded queue (or a stopped
+server) resolves the future as *rejected* — submission never blocks
+and never raises.  Shutdown is graceful by default: :meth:`stop`
+closes admission, drains every accepted request, then joins the
+workers.
+
+Decisions are identical to calling ``verify_many`` directly with the
+same recordings, and distances are *bitwise* identical whenever the
+micro-batch composition matches the direct call (the engine's forward
+is deterministic in the batch content).  Across different batch splits
+the underlying BLAS gemms may re-associate, so distances agree to
+float tolerance — the same contract the golden engine suite pins for
+batch-vs-single parity — while accept/reject decisions remain stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    AdmissionRejectedError,
+    ConfigError,
+    DeadlineExpiredError,
+    ServingError,
+)
+from repro.obs import runtime as obs
+from repro.serve.batcher import DynamicBatcher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import ServingConfig
+    from repro.core.system import MandiPass
+    from repro.types import RawRecording
+
+
+class RequestKind(enum.Enum):
+    VERIFY = "verify"
+    IDENTIFY = "identify"
+
+
+class RequestStatus(enum.Enum):
+    PENDING = "pending"
+    OK = "ok"
+    REJECTED = "rejected"  # admission control (queue full / stopped)
+    EXPIRED = "expired"    # deadline passed while queued; shed
+    FAILED = "failed"      # the batch call raised (e.g. user revoked)
+
+
+class AuthFuture:
+    """Handle for one submitted request; resolves exactly once.
+
+    ``result()`` blocks until resolution and returns the
+    :class:`~repro.types.VerificationResult` (or ``None`` for an
+    identify against an empty gallery / unusable recording), raising
+    :class:`~repro.errors.AdmissionRejectedError`,
+    :class:`~repro.errors.DeadlineExpiredError` or the original batch
+    exception for the non-OK terminal states.
+    """
+
+    __slots__ = ("kind", "user_id", "_event", "_status", "_value", "_error")
+
+    def __init__(self, kind: RequestKind, user_id: str | None) -> None:
+        self.kind = kind
+        self.user_id = user_id
+        self._event = threading.Event()
+        self._status = RequestStatus.PENDING
+        self._value = None
+        self._error: BaseException | None = None
+
+    @property
+    def status(self) -> RequestStatus:
+        return self._status
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until resolved; False if ``timeout`` elapsed first."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not resolved within timeout")
+        if self._status is RequestStatus.OK:
+            return self._value
+        assert self._error is not None
+        raise self._error
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The terminal error, or None for an OK result."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not resolved within timeout")
+        return self._error
+
+    # -- resolution (server-side only) ----------------------------------
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._status = RequestStatus.OK
+        self._event.set()
+
+    def _fail(self, error: BaseException, status: RequestStatus) -> None:
+        self._error = error
+        self._status = status
+        self._event.set()
+
+
+@dataclasses.dataclass(eq=False)
+class ServeRequest:
+    """One queued request: payload + future + scheduling metadata."""
+
+    kind: RequestKind
+    user_id: str | None
+    recording: "RawRecording"
+    future: AuthFuture
+    deadline: float | None  # absolute time.monotonic(), None = no deadline
+    submitted_at: float     # time.perf_counter(), for e2e latency
+    enqueued_at: float = 0.0  # stamped by the batcher
+
+    @property
+    def key(self) -> tuple:
+        # verify batches share one sealed template, so they key by
+        # user; identify batches score the whole gallery and coalesce
+        # globally.
+        return (self.kind, self.user_id)
+
+
+class AuthServer:
+    """Thread-based serving facade over one :class:`MandiPass` device.
+
+    Args:
+        system: the device facade whose batch APIs serve the traffic.
+        config: serving policy; defaults to ``system.config.serving``.
+
+    Requests may be submitted before :meth:`start` — they queue (up to
+    capacity) and are served once workers run.  Usable as a context
+    manager: ``with AuthServer(device) as server: ...`` starts workers
+    on entry and drains on exit.
+    """
+
+    def __init__(self, system: "MandiPass", config: "ServingConfig | None" = None):
+        self.system = system
+        self.config = config if config is not None else system.config.serving
+        self._batcher = DynamicBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_ms / 1000.0,
+            capacity=self.config.queue_capacity,
+            on_shed=self._shed,
+        )
+        self._workers: list[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "AuthServer":
+        """Spawn the worker threads (idempotent until stopped)."""
+        with self._state_lock:
+            if self._stopped:
+                raise ServingError("AuthServer cannot restart after stop()")
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.config.num_workers):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"authserver-worker-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Stop the server; True if every worker exited in time.
+
+        With ``drain=True`` (the default) every already-accepted
+        request is still served before the workers exit; new
+        submissions are rejected from the moment ``stop`` is called.
+        With ``drain=False`` queued-but-undispatched requests resolve
+        as rejected instead of being served.
+        """
+        with self._state_lock:
+            already = self._stopped
+            self._stopped = True
+            started = self._started
+        self._batcher.close()
+        if not drain or not started:
+            # Without workers a "drain" would hang forever; reject the
+            # backlog explicitly either way.
+            for request in self._batcher.drain_pending():
+                obs.inc("serve_rejected_total")
+                request.future._fail(
+                    AdmissionRejectedError(
+                        "server stopped before the request was served"
+                    ),
+                    RequestStatus.REJECTED,
+                )
+        if already and not self._workers:
+            return True
+        budget = self.config.drain_timeout_s if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        for worker in self._workers:
+            worker.join(max(deadline - time.monotonic(), 0.0))
+        return not any(worker.is_alive() for worker in self._workers)
+
+    def __enter__(self) -> "AuthServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        with self._state_lock:
+            return self._started and not self._stopped
+
+    @property
+    def queue_depth(self) -> int:
+        return self._batcher.depth
+
+    # -- submission -----------------------------------------------------
+
+    def verify(
+        self,
+        user_id: str,
+        recording: "RawRecording",
+        timeout_ms: float | None = None,
+    ) -> AuthFuture:
+        """Submit one 1:1 verification request; never blocks.
+
+        Args:
+            timeout_ms: optional queueing deadline.  A request still
+                queued when it expires is shed (future resolves with
+                :class:`~repro.errors.DeadlineExpiredError`); a request
+                already dispatched to a worker is always answered.
+        """
+        return self._submit(RequestKind.VERIFY, user_id, recording, timeout_ms)
+
+    def identify(
+        self, recording: "RawRecording", timeout_ms: float | None = None
+    ) -> AuthFuture:
+        """Submit one 1:N identification request; never blocks."""
+        return self._submit(RequestKind.IDENTIFY, None, recording, timeout_ms)
+
+    def _submit(
+        self,
+        kind: RequestKind,
+        user_id: str | None,
+        recording: "RawRecording",
+        timeout_ms: float | None,
+    ) -> AuthFuture:
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ConfigError("timeout_ms must be positive when given")
+        future = AuthFuture(kind, user_id)
+        deadline = (
+            time.monotonic() + timeout_ms / 1000.0 if timeout_ms is not None else None
+        )
+        request = ServeRequest(
+            kind=kind,
+            user_id=user_id,
+            recording=recording,
+            future=future,
+            deadline=deadline,
+            submitted_at=time.perf_counter(),
+        )
+        obs.inc("serve_requests_total", kind=kind.value)
+        if self._stopped:
+            obs.inc("serve_rejected_total")
+            future._fail(
+                AdmissionRejectedError("server is stopped"), RequestStatus.REJECTED
+            )
+        elif not self._batcher.offer(request):
+            obs.inc("serve_rejected_total")
+            future._fail(
+                AdmissionRejectedError("admission queue is full"),
+                RequestStatus.REJECTED,
+            )
+        return future
+
+    # -- worker side ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.next_batch()
+            if batch is None:
+                return
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: list) -> None:
+        head = batch[0]
+        recordings = [request.recording for request in batch]
+        try:
+            if head.kind is RequestKind.VERIFY:
+                results = self.system.verify_many(head.user_id, recordings)
+            else:
+                results = self.system.identify_many(recordings)
+        except BaseException as exc:  # e.g. user revoked mid-flight
+            for request in batch:
+                request.future._fail(exc, RequestStatus.FAILED)
+            return
+        resolved_at = time.perf_counter()
+        for request, result in zip(batch, results):
+            obs.observe("serve_latency_seconds", resolved_at - request.submitted_at)
+            request.future._resolve(result)
+
+    def _shed(self, request: ServeRequest) -> None:
+        obs.inc("serve_shed_total")
+        request.future._fail(
+            DeadlineExpiredError("deadline expired while queued"),
+            RequestStatus.EXPIRED,
+        )
