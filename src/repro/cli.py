@@ -12,6 +12,9 @@ Commands:
 * ``serve-bench`` -- load-test the concurrent serving layer (dynamic
                      micro-batching) against a sequential baseline and
                      write ``BENCH_serving.json``.
+* ``chaos``       -- run randomized seeded fault-injection schedules
+                     through the serving stack and write the
+                     outcome-accounting report ``BENCH_chaos.json``.
 """
 
 from __future__ import annotations
@@ -228,6 +231,52 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults.chaos import run_campaign
+
+    seeds = list(range(args.base_seed, args.base_seed + args.seeds))
+    print(f"chaos campaign: {len(seeds)} seeded schedules, "
+          f"{args.requests} requests each ({args.dtype})")
+    reports = run_campaign(
+        seeds, num_requests=args.requests, dtype=args.dtype
+    )
+    statuses: dict[str, int] = {}
+    fires: dict[str, int] = {}
+    unhealthy = []
+    for report in reports:
+        for key, count in report.statuses.items():
+            statuses[key] = statuses.get(key, 0) + count
+        for key, count in report.fault_fires.items():
+            fires[key] = fires.get(key, 0) + count
+        if not report.healthy:
+            unhealthy.append(report.seed)
+    total = sum(statuses.values())
+    print(f"  requests   : {total} resolved / "
+          f"{len(seeds) * args.requests} submitted")
+    for key in sorted(statuses):
+        print(f"    {key:<9}: {statuses[key]}")
+    print(f"  fault fires: {sum(fires.values())} across "
+          f"{len([k for k, v in fires.items() if v])} point/kind pairs")
+    print(f"  invariants : "
+          f"{'all held' if not unhealthy else f'VIOLATED for seeds {unhealthy}'}")
+    if args.output:
+        payload = {
+            "seeds": seeds,
+            "requests_per_schedule": args.requests,
+            "dtype": args.dtype,
+            "statuses": dict(sorted(statuses.items())),
+            "fault_fires": dict(sorted(fires.items())),
+            "unhealthy_seeds": unhealthy,
+            "schedules": [report.to_dict() for report in reports],
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"# report written to {args.output}", file=sys.stderr)
+    return 1 if unhealthy else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -290,6 +339,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here",
     )
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection schedules over the serving stack",
+    )
+    chaos.add_argument("--seeds", type=int, default=25,
+                       help="number of seeded schedules to run")
+    chaos.add_argument("--base-seed", type=int, default=0)
+    chaos.add_argument("--requests", type=int, default=18,
+                       help="requests per schedule")
+    chaos.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float32"
+    )
+    chaos.add_argument(
+        "--output", default="BENCH_chaos.json",
+        help="write the JSON report here (empty string to skip)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -217,6 +217,79 @@ class ServingConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class ResilienceConfig:
+    """Degraded-operation policy for the inference and serving paths.
+
+    Earphone deployments see sensor dropouts, saturated samples and
+    flaky compute as a matter of course (DESIGN.md §4g); this section
+    bounds how the system degrades instead of failing.  Defaults are
+    chosen so that a fault-free run is bit-identical to a system
+    without any resilience layer: retries only trigger on
+    :class:`~repro.errors.TransientError`, the breaker only trips on
+    repeated failures, and per-stage timeouts are off.
+
+    Attributes:
+        max_retries: bounded retry budget for transient stage failures
+            (per stage in the engine, per batch in the server).  0
+            disables retrying.
+        backoff_initial_s: first retry delay; doubles (by
+            ``backoff_multiplier``) per attempt up to ``backoff_max_s``.
+        backoff_multiplier: exponential backoff growth factor.
+        backoff_max_s: ceiling on one backoff sleep.
+        stage_timeout_s: wall-clock bound on one batch call in a
+            serving worker.  ``None`` (default) runs the call inline at
+            zero cost; a value runs it on a helper thread and refuses
+            the batch when the bound passes (the stalled call is left
+            to finish detached).
+        breaker_failure_threshold: consecutive batch failures that trip
+            the serving circuit breaker open.  0 disables the breaker.
+        breaker_cooldown_s: how long an open breaker sheds load before
+            letting one probe batch through (half-open).
+        min_usable_axes: minimum finite, live IMU axes a recording
+            needs after preprocessing.  Recordings with at least this
+            many but fewer than all six usable axes proceed with
+            ``degraded=True``; fewer refuse with
+            :class:`~repro.errors.InsufficientAxesError`.
+    """
+
+    max_retries: int = 2
+    backoff_initial_s: float = 0.005
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 0.25
+    stage_timeout_s: float | None = None
+    breaker_failure_threshold: int = 8
+    breaker_cooldown_s: float = 0.5
+    min_usable_axes: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.max_retries >= 0, "max_retries must be >= 0")
+        _require(self.backoff_initial_s >= 0, "backoff_initial_s must be >= 0")
+        _require(self.backoff_multiplier >= 1.0, "backoff_multiplier must be >= 1")
+        _require(self.backoff_max_s >= self.backoff_initial_s,
+                 "backoff_max_s must be >= backoff_initial_s")
+        _require(
+            self.stage_timeout_s is None or self.stage_timeout_s > 0,
+            "stage_timeout_s must be positive when given",
+        )
+        _require(
+            self.breaker_failure_threshold >= 0,
+            "breaker_failure_threshold must be >= 0",
+        )
+        _require(self.breaker_cooldown_s > 0, "breaker_cooldown_s must be positive")
+        _require(
+            1 <= self.min_usable_axes <= 6,
+            "min_usable_axes must lie in 1..6",
+        )
+
+    def backoff_delay(self, attempt: int) -> float:
+        """The sleep before retry number ``attempt`` (0-based)."""
+        return min(
+            self.backoff_initial_s * self.backoff_multiplier**attempt,
+            self.backoff_max_s,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class SecurityConfig:
     """Cancelable-template parameters (Section VI)."""
 
@@ -257,6 +330,7 @@ class MandiPassConfig:
     decision: DecisionConfig = dataclasses.field(default_factory=DecisionConfig)
     inference: InferenceConfig = dataclasses.field(default_factory=InferenceConfig)
     serving: ServingConfig = dataclasses.field(default_factory=ServingConfig)
+    resilience: ResilienceConfig = dataclasses.field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         _require(

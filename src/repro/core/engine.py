@@ -18,18 +18,23 @@ batch.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+import time
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.config import ResilienceConfig
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import FrontEnd
 from repro.core.mandibleprint import extract_embeddings
 from repro.core.similarity import center_embedding
 from repro.dsp.pipeline import Preprocessor
-from repro.errors import ConfigError, ShapeError
+from repro.errors import ConfigError, ShapeError, TransientError
+from repro.faults import runtime as faults
 from repro.obs import runtime as obs
 from repro.types import RawRecording
+
+T = TypeVar("T")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,12 +62,17 @@ class BatchOutcome:
         indices: ``(K,)`` input-batch position of each success row.
         failures: one entry per failed recording, sorted by index.
         batch_size: total number of recordings that entered the batch.
+        degraded: sorted input indices of *successful* recordings that
+            were processed in degraded mode (at least one unusable IMU
+            axis was zeroed out; DESIGN.md §4g).  Always a subset of
+            ``indices``.
     """
 
     values: np.ndarray
     indices: np.ndarray
     failures: tuple[BatchItemFailure, ...]
     batch_size: int
+    degraded: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.batch_size < 0:
@@ -84,6 +94,11 @@ class BatchOutcome:
             raise ShapeError(
                 "success and failure indices must partition range(batch_size)"
             )
+        marked = [int(i) for i in self.degraded]
+        if any(b <= a for a, b in zip(marked, marked[1:])):
+            raise ShapeError("degraded indices must be strictly increasing")
+        if not set(marked) <= set(success):
+            raise ShapeError("degraded indices must be a subset of successes")
 
     @property
     def num_ok(self) -> int:
@@ -143,6 +158,12 @@ class InferenceEngine:
             traffic and double the BLAS throughput, with embedding drift
             bounded by the parity tests.  Distances and decisions are
             computed in float64 regardless.
+        resilience: retry/backoff and degraded-mode policy.  ``None``
+            uses :class:`repro.config.ResilienceConfig` defaults: two
+            retries with exponential backoff on
+            :class:`~repro.errors.TransientError`, and verification
+            proceeding (flagged degraded) when at least four of six IMU
+            axes are usable.
     """
 
     def __init__(
@@ -152,6 +173,7 @@ class InferenceEngine:
         frontend: FrontEnd | None = None,
         batch_size: int = 256,
         compute_dtype: np.dtype | str = "float64",
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ConfigError("batch_size must be positive")
@@ -163,6 +185,26 @@ class InferenceEngine:
         self.frontend = frontend
         self.batch_size = batch_size
         self.compute_dtype = compute_dtype
+        self.resilience = resilience or ResilienceConfig()
+
+    def _with_retry(self, fn: Callable[[], T], stage: str) -> T:
+        """Run one stage, retrying transient failures with backoff.
+
+        Only :class:`~repro.errors.TransientError` (injected faults and
+        anything a deployment marks transient) is retried; programming
+        errors and signal errors propagate immediately.
+        """
+        policy = self.resilience
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientError:
+                if attempt >= policy.max_retries:
+                    raise
+                obs.inc("fault_retries_total", stage=stage)
+                time.sleep(policy.backoff_delay(attempt))
+                attempt += 1
 
     # -- stage entry points ---------------------------------------------
 
@@ -177,17 +219,24 @@ class InferenceEngine:
     def preprocess(self, recordings: Sequence[RawRecording]) -> BatchOutcome:
         """Batched Section IV pipeline; values are ``(K, 6, n)`` signals."""
         preprocessor, _ = self._require_signal_stages()
-        signals, indices, failures = preprocessor.process_batch_detailed(recordings)
+        faults.maybe_delay("engine.preprocess")
+        faults.maybe_fail("engine.preprocess")
+        signals, indices, failures, degraded = preprocessor.process_batch_detailed(
+            recordings, min_usable_axes=self.resilience.min_usable_axes
+        )
         return BatchOutcome(
             values=signals,
             indices=indices,
             failures=_as_failures(failures),
             batch_size=len(recordings),
+            degraded=degraded,
         )
 
     def features(self, signal_arrays: np.ndarray) -> np.ndarray:
         """Front-end transform of stacked signals: ``(K, 2, 6, W)``."""
         _, frontend = self._require_signal_stages()
+        faults.maybe_delay("engine.frontend")
+        faults.maybe_fail("engine.frontend")
         with obs.span("frontend"):
             return frontend.transform_batch(signal_arrays)
 
@@ -198,6 +247,8 @@ class InferenceEngine:
         centring upcasts to float64, so everything downstream (cosine
         distances, decisions) is float64 either way.
         """
+        faults.maybe_delay("engine.extractor")
+        faults.maybe_fail("engine.extractor")
         with obs.span("extractor"):
             return center_embedding(
                 extract_embeddings(
@@ -211,15 +262,32 @@ class InferenceEngine:
     # -- end-to-end -----------------------------------------------------
 
     def embed(self, recordings: Sequence[RawRecording]) -> BatchOutcome:
-        """Recordings to centred MandiblePrints, with per-item failures."""
+        """Recordings to centred MandiblePrints, with per-item failures.
+
+        Transient stage failures are retried per the engine's
+        :class:`~repro.config.ResilienceConfig`; payload corruption (the
+        ``"imu"`` fault point) is applied once, before the first
+        attempt, so a retry re-processes the same corrupted inputs
+        rather than rolling new ones.
+        """
         obs.observe_batch_size("embed", len(recordings))
-        outcome = self.preprocess(recordings)
+        recordings = faults.corrupt_recordings(recordings)
+        outcome = self._with_retry(
+            lambda: self.preprocess(recordings), "preprocess"
+        )
         for failure in outcome.failures:
             obs.inc("failures_total", error=failure.error)
+        if outcome.degraded:
+            obs.inc("degraded_total", float(len(outcome.degraded)), path="axes")
         if outcome.num_ok == 0:
             empty = np.empty((0, self.model.config.embedding_dim))
             return dataclasses.replace(outcome, values=empty)
-        embeddings = self.embed_features(self.features(outcome.values))
+        features = self._with_retry(
+            lambda: self.features(outcome.values), "frontend"
+        )
+        embeddings = self._with_retry(
+            lambda: self.embed_features(features), "extractor"
+        )
         return dataclasses.replace(outcome, values=embeddings)
 
     def embed_one(self, recording: RawRecording) -> np.ndarray:

@@ -18,10 +18,17 @@ from repro.core.enrollment import enroll_user
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import make_frontend
 from repro.core.gallery import TemplateGallery
-from repro.core.similarity import accept, cosine_distance
+from repro.core.similarity import accept, cosine_distance, distances_to_template
 from repro.core.verification import verify_batch, verify_presented_vector
 from repro.dsp.pipeline import Preprocessor
-from repro.errors import ConfigError, EnrollmentError, SignalError, VerificationError
+from repro.errors import (
+    ConfigError,
+    EnrollmentError,
+    SignalError,
+    TransientError,
+    VerificationError,
+)
+from repro.faults import runtime as faults
 from repro.obs import runtime as obs
 from repro.security.cancelable import CancelableTransform
 from repro.serve.locks import RWLock
@@ -63,6 +70,7 @@ class MandiPass:
             self.frontend,
             batch_size=config.inference.batch_size,
             compute_dtype=config.inference.compute_dtype,
+            resilience=config.resilience,
         )
         self.enclave = enclave or SecureEnclave()
         self._transforms: dict[str, CancelableTransform] = {}
@@ -199,6 +207,7 @@ class MandiPass:
         with self._gallery_build_lock:
             gallery = self._gallery
             if gallery is None:
+                faults.maybe_fail("gallery.build")
                 user_ids = list(self._transforms)
                 gallery = TemplateGallery(
                     user_ids=user_ids,
@@ -239,13 +248,23 @@ class MandiPass:
         """
         with self._rwlock.read_locked(), obs.span("identify"):
             obs.observe_batch_size("identify_many", len(recordings))
-            gallery = self._current_gallery()
+            try:
+                gallery = self._current_gallery()
+            except TransientError:
+                # Graceful degradation (DESIGN.md §4g): a transient
+                # gallery-build failure falls back to per-user scoring —
+                # slower, no derived state — instead of failing the
+                # whole identification batch.
+                if not self._transforms or not recordings:
+                    return [None] * len(recordings)
+                return self._identify_fallback(recordings)
             results: list[VerificationResult | None] = [None] * len(recordings)
             if gallery is None or not recordings:
                 return results
             outcome = self.engine.embed(recordings)
             if outcome.num_ok == 0:
                 return results
+            degraded = set(int(i) for i in outcome.degraded)
             distances = gallery.distances_batch(outcome.values)
             best = np.argmin(distances, axis=1)
             threshold = self.config.decision.threshold
@@ -257,6 +276,7 @@ class MandiPass:
                     distance=distance,
                     threshold=threshold,
                     user_id=gallery.user_ids[column],
+                    degraded=int(input_index) in degraded,
                 )
             if obs.get_registry().enabled:
                 for result in results:
@@ -267,6 +287,53 @@ class MandiPass:
                     )
                     obs.inc("decisions_total", decision=decision)
             return results
+
+    def _identify_fallback(
+        self, recordings: Sequence[RawRecording]
+    ) -> list[VerificationResult | None]:
+        """Per-user 1:N scoring used when the gallery build fails.
+
+        One projection per enrolled user instead of one stacked gallery
+        pass — linear in the enrolled set, but it needs no derived
+        state, so identification keeps answering while the gallery is
+        unbuildable.  Every returned result is flagged ``degraded``.
+
+        Called under the read lock (from :meth:`identify_many`), so the
+        transform/enclave snapshot it iterates is stable.
+        """
+        results: list[VerificationResult | None] = [None] * len(recordings)
+        outcome = self.engine.embed(recordings)
+        if outcome.num_ok == 0:
+            return results
+        obs.inc("degraded_total", float(outcome.num_ok), path="identify_fallback")
+        best_distance = np.full(outcome.num_ok, np.inf)
+        best_user = [""] * outcome.num_ok
+        for uid, transform in self._transforms.items():
+            template = np.asarray(self.enclave.unseal(uid).template)
+            probes = transform.apply(outcome.values)
+            distances = distances_to_template(probes, template)
+            for row in np.flatnonzero(distances < best_distance):
+                best_user[int(row)] = uid
+            best_distance = np.minimum(best_distance, distances)
+        threshold = self.config.decision.threshold
+        for row, input_index in enumerate(np.asarray(outcome.indices)):
+            distance = float(best_distance[row])
+            results[int(input_index)] = VerificationResult(
+                accepted=accept(distance, threshold),
+                distance=distance,
+                threshold=threshold,
+                user_id=best_user[row],
+                degraded=True,
+            )
+        if obs.get_registry().enabled:
+            for result in results:
+                decision = (
+                    "refusal"
+                    if result is None
+                    else ("accept" if result.accepted else "reject")
+                )
+                obs.inc("decisions_total", decision=decision)
+        return results
 
     def adapt_template(
         self, user_id: str, recording: RawRecording, rate: float = 0.1

@@ -70,14 +70,16 @@ def verify_batch(
             distances_to_template(probes, np.asarray(template, dtype=np.float64))
         )
     ok = outcome.ok_mask()
+    degraded = set(int(i) for i in outcome.degraded)
     results = [
         VerificationResult(
             accepted=accept(float(d), threshold),
             distance=float(d),
             threshold=threshold,
             user_id=user_id,
+            degraded=idx in degraded,
         )
-        for d in distances
+        for idx, d in enumerate(distances)
     ]
     if obs.get_registry().enabled:
         for result, usable in zip(results, ok):

@@ -26,7 +26,7 @@ from repro.dsp.detection import (
 from repro.dsp.filters import design_highpass, sosfilt
 from repro.dsp.normalize import min_max_normalize
 from repro.dsp.outliers import replace_outliers, replace_outliers_batch
-from repro.errors import OnsetNotFoundError, SignalError
+from repro.errors import InsufficientAxesError, OnsetNotFoundError, SignalError
 from repro.obs import runtime as obs
 from repro.types import NUM_AXES, RawRecording, SignalArray
 
@@ -114,12 +114,16 @@ class Preprocessor:
         :class:`repro.core.engine.InferenceEngine` facade) to learn
         *which* recordings failed and why.
         """
-        signals, _, _ = self.process_batch_detailed(recordings)
+        signals, _, _, _ = self.process_batch_detailed(recordings)
         return signals
 
     def process_batch_detailed(
-        self, recordings: Sequence[RawRecording]
-    ) -> tuple[np.ndarray, np.ndarray, list[tuple[int, SignalError]]]:
+        self,
+        recordings: Sequence[RawRecording],
+        min_usable_axes: int = 1,
+    ) -> tuple[
+        np.ndarray, np.ndarray, list[tuple[int, SignalError]], tuple[int, ...]
+    ]:
         """Vectorised batch pipeline with per-item failure bookkeeping.
 
         Onset detection is decided per recording (each has its own
@@ -128,15 +132,30 @@ class Preprocessor:
         over the stacked ``(B, 6, n)`` array.  Per item the output is
         numerically identical to :meth:`process`.
 
+        An axis is *usable* when it is finite end-to-end after filtering
+        and carries any signal at all; dead channels (sensor dropout)
+        and NaN bursts disable single axes without invalidating the
+        whole recording.  Unusable axes are zeroed before normalisation
+        and the recording is reported as *degraded*; recordings with
+        fewer than ``min_usable_axes`` usable axes fail with
+        :class:`~repro.errors.InsufficientAxesError` (DESIGN.md §4g).
+
         Args:
             recordings: a ``(B, n, 6)`` array or a sequence of
                 ``(n_i, 6)`` recordings (lengths may differ).
+            min_usable_axes: minimum usable-axis count a recording needs
+                to proceed.  The default of 1 reproduces the historical
+                gate; the engine threads
+                :attr:`repro.config.ResilienceConfig.min_usable_axes`
+                through here.
 
         Returns:
-            ``(signals, indices, failures)``: signals is the
+            ``(signals, indices, failures, degraded)``: signals is the
             ``(K, 6, seg_len)`` stack of successes, indices the
-            input-order position of each success, and failures a list of
-            ``(index, exception)`` pairs sorted by index.
+            input-order position of each success, failures a list of
+            ``(index, exception)`` pairs sorted by index, and degraded
+            the sorted input indices of successes that lost at least one
+            axis.
         """
         cfg = self.config
         items = [np.asarray(r, dtype=np.float64) for r in recordings]
@@ -170,28 +189,56 @@ class Preprocessor:
 
         empty = np.empty((0, NUM_AXES, cfg.segment_length))
         if not segments:
-            return empty, np.empty(0, dtype=np.int64), failures
+            return empty, np.empty(0, dtype=np.int64), failures, ()
 
         stacked = np.stack(segments)
         with obs.span("outlier"):
             despiked = replace_outliers_batch(stacked, threshold=cfg.mad_threshold)
         with obs.span("filter"):
             filtered = sosfilt(self._sos, despiked)
+        # Axis usability: finite end-to-end and carrying any signal.  A
+        # dead channel or NaN burst disables that axis only, so the
+        # sustained-energy gate below runs over usable axes and cannot
+        # be poisoned by a single NaN.
+        finite = np.isfinite(filtered).all(axis=2)
+        axis_std = np.where(finite, np.nan_to_num(filtered.std(axis=2)), 0.0)
+        usable = finite & (axis_std > 1e-9)
         # Same quality gate as process_debug, vectorised across items.
-        sustained = filtered.std(axis=2).max(axis=1) >= cfg.min_segment_std
-        for local in np.flatnonzero(~sustained):
-            failures.append(
-                (
-                    indices[local],
-                    OnsetNotFoundError(
-                        "segment carries no sustained vibration after despiking"
-                    ),
+        sustained = np.where(usable, axis_std, 0.0).max(axis=1) >= cfg.min_segment_std
+        enough = usable.sum(axis=1) >= min_usable_axes
+        keep = sustained & enough
+        for local in np.flatnonzero(~keep):
+            if not sustained[local]:
+                failures.append(
+                    (
+                        indices[local],
+                        OnsetNotFoundError(
+                            "segment carries no sustained vibration after despiking"
+                        ),
+                    )
                 )
-            )
+            else:
+                count = int(usable[local].sum())
+                failures.append(
+                    (
+                        indices[local],
+                        InsufficientAxesError(
+                            f"only {count} of {NUM_AXES} axes usable; "
+                            f"policy requires {min_usable_axes}"
+                        ),
+                    )
+                )
         failures.sort(key=lambda pair: pair[0])
-        if not sustained.any():
-            return empty, np.empty(0, dtype=np.int64), failures
+        if not keep.any():
+            return empty, np.empty(0, dtype=np.int64), failures, ()
+        kept_filtered = filtered[keep]  # boolean indexing copies
+        kept_usable = usable[keep]
+        if not kept_usable.all():
+            kept_filtered[~kept_usable] = 0.0
         with obs.span("normalize"):
-            normalized = min_max_normalize(filtered[sustained], axis=-1)
-        kept = np.asarray(indices, dtype=np.int64)[sustained]
-        return normalized, kept, failures
+            normalized = min_max_normalize(kept_filtered, axis=-1)
+        kept_idx = np.asarray(indices, dtype=np.int64)[keep]
+        degraded = tuple(
+            int(i) for i, row in zip(kept_idx, kept_usable) if not row.all()
+        )
+        return normalized, kept_idx, failures, degraded

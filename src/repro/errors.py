@@ -69,6 +69,30 @@ class VerificationError(ReproError):
     """A verification request could not be evaluated (not a rejection)."""
 
 
+class TransientError(ReproError):
+    """Marker base for failures that are safe to retry.
+
+    A stage that raises a :class:`TransientError` subclass asserts that
+    the *same inputs* may succeed on a later attempt (a flaky compute
+    unit, an injected fault with a bounded fire budget).  The retry
+    policies in :mod:`repro.core.engine` and :mod:`repro.serve` only
+    ever retry this class; everything else propagates immediately.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """A deterministic fault injected by an active :class:`FaultPlan`.
+
+    Attributes:
+        point: the fault-point name that fired (e.g.
+            ``"engine.extractor"``).
+    """
+
+    def __init__(self, point: str, message: str | None = None) -> None:
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
 class ServingError(ReproError):
     """Base class for concurrent-serving (:mod:`repro.serve`) errors."""
 
@@ -82,3 +106,36 @@ class AdmissionRejectedError(ServingError):
 class DeadlineExpiredError(ServingError):
     """A queued request's deadline passed before a worker could batch
     it; the request was shed without being evaluated."""
+
+
+class WorkerKilledError(ServingError):
+    """An injected fault killed a serving worker mid-batch.
+
+    Deliberately *not* transient: the worker thread is gone, so the
+    batch cannot be retried in place — the server fails the batch's
+    unresolved futures and spawns a replacement worker instead.
+    """
+
+
+class StageTimeoutError(ServingError):
+    """A batch call exceeded the configured per-stage timeout.
+
+    The request was shed as *refused* (the underlying call may still be
+    running detached); refusing fast beats hanging the whole queue
+    behind one stalled stage.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """The serving circuit breaker is open; the request was refused
+    without being evaluated.  The breaker re-closes after its cooldown
+    once a probe batch succeeds."""
+
+
+class InsufficientAxesError(SignalError):
+    """Too few usable IMU axes survived preprocessing.
+
+    Raised by the degraded-mode gate when fewer than
+    ``resilience.min_usable_axes`` axes carry finite, live signal
+    (sensor dropout, NaN bursts).  A recording failing this gate is a
+    refusal, never a biometric reject."""

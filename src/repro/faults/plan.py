@@ -1,0 +1,213 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is a bag of :class:`FaultRule` entries, each bound
+to a named *fault point* in the serving stack (see
+:mod:`repro.faults.runtime` for the canonical point names).  Every rule
+owns its own seeded random stream, so the sequence of fire/no-fire
+decisions at a point is a pure function of ``(plan seed, rule, call
+order)`` — the property the chaos suite leans on to replay a failing
+schedule from nothing but its seed.
+
+Rules are data, not behaviour: the hooks in
+:mod:`repro.faults.runtime` interpret ``kind`` and apply the effect
+(raise, sleep, reject, corrupt).  A plan is inert until installed; the
+production code path never sees it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import zlib
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Fault kinds that raise / delay / reject at a point.
+CONTROL_KINDS = ("error", "kill", "delay", "reject")
+#: Fault kinds that corrupt recording payloads (the IMU layer).
+CORRUPTION_KINDS = ("dropout", "nan", "clip")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One fault: where, what, how often.
+
+    Attributes:
+        point: fault-point name the rule is bound to (e.g.
+            ``"engine.extractor"``, ``"imu"`` for corruption rules).
+        kind: effect at the point — ``"error"`` raises
+            :class:`~repro.errors.InjectedFaultError`, ``"kill"``
+            raises :class:`~repro.errors.WorkerKilledError`,
+            ``"delay"`` sleeps ``delay_s``, ``"reject"`` makes the
+            admission queue report itself full, and the corruption
+            kinds ``"dropout"`` / ``"nan"`` / ``"clip"`` mutate a copy
+            of the recording.
+        probability: chance the rule fires per evaluation, drawn from
+            the rule's own seeded stream.
+        max_fires: hard budget on total fires; ``None`` is unbounded.
+        delay_s: sleep length for ``"delay"`` rules.
+        axes: IMU axes a corruption rule touches; ``None`` draws one or
+            two axes from the rule's stream per recording.
+        fraction: extent of a ``"nan"`` burst as a fraction of the
+            segment (contiguous window); ``"dropout"`` always kills the
+            whole axis (a dead sensor channel).
+        magnitude: clip rail for ``"clip"`` rules; ``None`` clips at
+            half the axis peak.
+    """
+
+    point: str
+    kind: str
+    probability: float = 1.0
+    max_fires: int | None = None
+    delay_s: float = 0.0
+    axes: tuple[int, ...] | None = None
+    fraction: float = 0.25
+    magnitude: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONTROL_KINDS + CORRUPTION_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError("probability must lie in [0, 1]")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ConfigError("max_fires must be >= 0 when given")
+        if self.delay_s < 0:
+            raise ConfigError("delay_s must be >= 0")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError("fraction must lie in (0, 1]")
+
+
+def _rule_stream(seed: int, index: int, rule: FaultRule) -> np.random.Generator:
+    """A stable, independent random stream for one rule of one plan.
+
+    Python's built-in ``hash`` is randomised per process, so the stream
+    key goes through crc32 — the same trick the IMU recorder uses for
+    reproducible per-person streams.
+    """
+    digest = zlib.crc32(f"{rule.point}|{rule.kind}|{index}".encode("utf-8"))
+    return np.random.default_rng(np.random.SeedSequence([seed, digest, index]))
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus their runtime fire state.
+
+    Args:
+        rules: the fault rules; evaluation order at a point follows
+            list order.
+        seed: base seed for every rule's decision stream.
+
+    A plan is reusable but stateful: fire counters persist across
+    activations (``max_fires`` is a per-plan budget, not
+    per-activation).  :meth:`reset` rewinds both the counters and the
+    streams.  All decision state is lock-guarded, so concurrent serving
+    workers see a consistent budget.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._streams: list[np.random.Generator] = []
+        self._fires: list[int] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind every rule's stream and fire counter."""
+        with self._lock:
+            self._streams = [
+                _rule_stream(self.seed, i, rule)
+                for i, rule in enumerate(self.rules)
+            ]
+            self._fires = [0] * len(self.rules)
+
+    # -- decisions -------------------------------------------------------
+
+    def _should_fire_locked(self, index: int) -> bool:
+        rule = self.rules[index]
+        if rule.max_fires is not None and self._fires[index] >= rule.max_fires:
+            return False
+        if rule.probability < 1.0:
+            if self._streams[index].random() >= rule.probability:
+                return False
+        self._fires[index] += 1
+        return True
+
+    def fired(self, point: str, kinds: Sequence[str]) -> FaultRule | None:
+        """The first rule at ``point`` with kind in ``kinds`` that fires."""
+        for index, rule in enumerate(self.rules):
+            if rule.point != point or rule.kind not in kinds:
+                continue
+            with self._lock:
+                if self._should_fire_locked(index):
+                    return rule
+        return None
+
+    def corruption_draws(
+        self, point: str, num_axes: int
+    ) -> list[tuple[FaultRule, tuple[int, ...], float]]:
+        """Fired corruption rules at ``point`` with their axis picks.
+
+        Returns one ``(rule, axes, position)`` triple per firing rule;
+        ``position`` in ``[0, 1)`` places a burst window within the
+        recording.  Axis picks and positions come from the rule's own
+        stream so corruption is as replayable as control faults.
+        """
+        draws: list[tuple[FaultRule, tuple[int, ...], float]] = []
+        for index, rule in enumerate(self.rules):
+            if rule.point != point or rule.kind not in CORRUPTION_KINDS:
+                continue
+            with self._lock:
+                if not self._should_fire_locked(index):
+                    continue
+                stream = self._streams[index]
+                if rule.axes is not None:
+                    axes = rule.axes
+                else:
+                    count = int(stream.integers(1, 3))
+                    axes = tuple(
+                        int(a)
+                        for a in stream.choice(num_axes, size=count, replace=False)
+                    )
+                position = float(stream.random())
+            draws.append((rule, axes, position))
+        return draws
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Fire counts keyed ``"point/kind"`` (aggregated over rules)."""
+        with self._lock:
+            fires = list(self._fires)
+        out: dict[str, int] = {}
+        for rule, count in zip(self.rules, fires):
+            key = f"{rule.point}/{rule.kind}"
+            out[key] = out.get(key, 0) + count
+        return out
+
+    def total_fires(self) -> int:
+        with self._lock:
+            return sum(self._fires)
+
+    @contextlib.contextmanager
+    def active(self) -> Iterator["FaultPlan"]:
+        """Install this plan process-wide for the scope of the block.
+
+        The previously installed plan (usually none) is restored on
+        exit, so nested activations compose the same way
+        :func:`repro.obs.runtime.collecting` does.
+        """
+        from repro.faults import runtime
+
+        previous = runtime.get_plan()
+        runtime.install(self)
+        try:
+            yield self
+        finally:
+            runtime.install(previous)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.config import SamplingConfig
 from repro.errors import ConfigError
+from repro.faults import runtime as faults
 from repro.imu.device import IMUDevice, MPU9250
 from repro.imu.sensor import IMUSensor
 from repro.physio.conditions import NOMINAL, RecordingCondition
@@ -75,10 +76,15 @@ class Recorder:
         condition: RecordingCondition = NOMINAL,
         trial_index: int = 0,
     ) -> RawRecording:
-        """Record a single trial; ``trial_index`` varies the randomness."""
+        """Record a single trial; ``trial_index`` varies the randomness.
+
+        With a :class:`repro.faults.FaultPlan` installed, ``"imu"``
+        corruption rules (dropout / NaN burst / clipping) apply to the
+        captured recording exactly as they would to live sensor data.
+        """
         rng = self._rng(person, condition, salt=trial_index)
         batch = self.sensor.capture_batch(person, condition, 1, rng)
-        return batch[0]
+        return faults.corrupt_recording(batch[0])
 
     def record_session(
         self,

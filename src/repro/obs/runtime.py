@@ -43,6 +43,29 @@ serve_requests_total      counter    ``kind``: verify, identify
 serve_rejected_total      counter    --  (admission control)
 serve_shed_total          counter    --  (deadline expired while queued)
 ========================  =========  =======================================
+
+The fault-injection and resilience layer (:mod:`repro.faults`,
+DESIGN.md §4g) adds:
+
+==========================  =========  =====================================
+name                        kind       labels
+==========================  =========  =====================================
+fault_injected_total        counter    ``point``, ``kind`` (fault points and
+                                       kinds from :mod:`repro.faults`)
+fault_retries_total         counter    ``stage``: preprocess, frontend,
+                                       extractor (engine-level retries)
+degraded_total              counter    ``path``: axes (verify with unusable
+                                       IMU axes zeroed), identify_fallback
+                                       (per-user scoring after gallery-build
+                                       failure)
+serve_retries_total         counter    --  (server-level batch retries)
+serve_refused_total         counter    ``reason``: circuit_open,
+                                       stage_timeout
+serve_worker_deaths_total   counter    --  (workers killed mid-batch)
+serve_worker_restarts_total counter    --  (replacement workers spawned)
+serve_breaker_state         gauge      --  (0 closed, 1 open)
+serve_breaker_open_total    counter    --  (breaker trip events)
+==========================  =========  =====================================
 """
 
 from __future__ import annotations

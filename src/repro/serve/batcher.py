@@ -42,6 +42,7 @@ from collections import deque
 from typing import Callable
 
 from repro.errors import ConfigError
+from repro.faults import runtime as faults
 from repro.obs import runtime as obs
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 
@@ -93,6 +94,10 @@ class DynamicBatcher:
 
     def offer(self, item) -> bool:
         """Admit ``item``; False when full or closed (never blocks)."""
+        if faults.should_reject("serve.queue"):
+            # Injected queue saturation: admission control reports full
+            # exactly as a genuinely saturated queue would.
+            return False
         with self._cond:
             if self._closed or len(self._items) >= self.capacity:
                 return False

@@ -1,0 +1,139 @@
+"""Serving-side resilience primitives: circuit breaker, stage timeout.
+
+The policies themselves (thresholds, budgets, backoff shape) live in
+:class:`repro.config.ResilienceConfig`; this module supplies the
+mechanisms :class:`~repro.serve.server.AuthServer` composes them from.
+Everything is dependency-free and clock-injectable so the state
+machines are unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import StageTimeoutError
+from repro.obs import runtime as obs
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    States:
+
+    * **closed** — traffic flows; failures count consecutively, and
+      ``failure_threshold`` of them trip the breaker open.
+    * **open** — :meth:`allow` refuses everything until
+      ``cooldown_s`` has elapsed.
+    * **half-open** — after the cooldown exactly one caller is let
+      through as a probe; its success re-closes the breaker, its
+      failure re-opens it for another cooldown.
+
+    A ``failure_threshold`` of 0 disables the breaker entirely:
+    :meth:`allow` always returns True and the recorders are no-ops, so
+    an inert breaker costs one attribute read per batch.
+
+    Exported metrics: ``serve_breaker_state`` gauge (0 closed, 1 open)
+    and ``serve_breaker_open_total`` counter.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int,
+        cooldown_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._open_until = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.failure_threshold > 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """True if a batch may proceed; False sheds it as refused."""
+        if not self.enabled:
+            return True
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() < self._open_until:
+                    return False
+                # Cooldown over: exactly one probe goes through.
+                self._state = "half-open"
+                return True
+            return False  # half-open with the probe already in flight
+
+    def record_success(self) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._state = "closed"
+                obs.set_gauge("serve_breaker_state", 0.0)
+
+    def record_failure(self) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._failures += 1
+            tripped = (
+                self._state == "half-open"
+                or self._failures >= self.failure_threshold
+            )
+            if tripped and self._state != "open":
+                self._state = "open"
+                self._open_until = self._clock() + self.cooldown_s
+                obs.set_gauge("serve_breaker_state", 1.0)
+                obs.inc("serve_breaker_open_total")
+            elif tripped:
+                self._open_until = self._clock() + self.cooldown_s
+
+
+def call_with_timeout(fn: Callable[[], object], timeout_s: float, label: str = "batch"):
+    """Run ``fn`` with a wall-clock bound; raise on overrun.
+
+    The call runs on a daemon helper thread; if it does not finish
+    within ``timeout_s`` a :class:`~repro.errors.StageTimeoutError` is
+    raised and the stalled call is left to finish detached (its result
+    is discarded).  Exceptions from ``fn`` propagate unchanged.
+
+    This trades one short-lived thread per call for the guarantee that
+    a stalled stage can never wedge a serving worker — only callers
+    that configured ``stage_timeout_s`` pay it.
+    """
+    outcome: dict = {}
+    done = threading.Event()
+
+    def runner() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(
+        target=runner, name=f"stage-timeout-{label}", daemon=True
+    )
+    thread.start()
+    if not done.wait(timeout_s):
+        raise StageTimeoutError(
+            f"{label} exceeded the {timeout_s:.3f}s stage timeout"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]

@@ -41,15 +41,21 @@ from typing import TYPE_CHECKING
 
 from repro.errors import (
     AdmissionRejectedError,
+    CircuitOpenError,
     ConfigError,
     DeadlineExpiredError,
     ServingError,
+    StageTimeoutError,
+    TransientError,
+    WorkerKilledError,
 )
+from repro.faults import runtime as faults
 from repro.obs import runtime as obs
 from repro.serve.batcher import DynamicBatcher
+from repro.serve.resilience import CircuitBreaker, call_with_timeout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.config import ServingConfig
+    from repro.config import ResilienceConfig, ServingConfig
     from repro.core.system import MandiPass
     from repro.types import RawRecording
 
@@ -65,6 +71,7 @@ class RequestStatus(enum.Enum):
     REJECTED = "rejected"  # admission control (queue full / stopped)
     EXPIRED = "expired"    # deadline passed while queued; shed
     FAILED = "failed"      # the batch call raised (e.g. user revoked)
+    REFUSED = "refused"    # load shed by resilience policy (breaker/timeout)
 
 
 class AuthFuture:
@@ -74,16 +81,25 @@ class AuthFuture:
     :class:`~repro.types.VerificationResult` (or ``None`` for an
     identify against an empty gallery / unusable recording), raising
     :class:`~repro.errors.AdmissionRejectedError`,
-    :class:`~repro.errors.DeadlineExpiredError` or the original batch
-    exception for the non-OK terminal states.
+    :class:`~repro.errors.DeadlineExpiredError`,
+    :class:`~repro.errors.CircuitOpenError` /
+    :class:`~repro.errors.StageTimeoutError` (refused) or the original
+    batch exception for the non-OK terminal states.
+
+    Settlement is idempotent: the first resolution wins and every later
+    attempt is a no-op, so a request can never be answered twice even
+    when a dying worker and its replacement race over the same batch.
     """
 
-    __slots__ = ("kind", "user_id", "_event", "_status", "_value", "_error")
+    __slots__ = (
+        "kind", "user_id", "_event", "_lock", "_status", "_value", "_error"
+    )
 
     def __init__(self, kind: RequestKind, user_id: str | None) -> None:
         self.kind = kind
         self.user_id = user_id
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._status = RequestStatus.PENDING
         self._value = None
         self._error: BaseException | None = None
@@ -115,15 +131,24 @@ class AuthFuture:
 
     # -- resolution (server-side only) ----------------------------------
 
-    def _resolve(self, value) -> None:
-        self._value = value
-        self._status = RequestStatus.OK
-        self._event.set()
+    def _settle(
+        self, value, error: BaseException | None, status: RequestStatus
+    ) -> bool:
+        """Settle the future; False if it was already settled."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._error = error
+            self._status = status
+            self._event.set()
+            return True
 
-    def _fail(self, error: BaseException, status: RequestStatus) -> None:
-        self._error = error
-        self._status = status
-        self._event.set()
+    def _resolve(self, value) -> bool:
+        return self._settle(value, None, RequestStatus.OK)
+
+    def _fail(self, error: BaseException, status: RequestStatus) -> bool:
+        return self._settle(None, error, status)
 
 
 @dataclasses.dataclass(eq=False)
@@ -152,16 +177,38 @@ class AuthServer:
     Args:
         system: the device facade whose batch APIs serve the traffic.
         config: serving policy; defaults to ``system.config.serving``.
+        resilience: failure policy; defaults to
+            ``system.config.resilience``.  Governs the per-batch retry
+            budget for transient failures, the optional stage timeout,
+            and the circuit breaker that sheds incoming batches as
+            *refused* while the backend is persistently failing
+            (DESIGN.md §4g).
 
     Requests may be submitted before :meth:`start` — they queue (up to
     capacity) and are served once workers run.  Usable as a context
     manager: ``with AuthServer(device) as server: ...`` starts workers
     on entry and drains on exit.
+
+    A worker that dies mid-batch (:class:`~repro.errors.WorkerKilledError`)
+    fails that batch's unresolved futures and is replaced by a fresh
+    worker thread, so capacity survives worker crashes.
     """
 
-    def __init__(self, system: "MandiPass", config: "ServingConfig | None" = None):
+    def __init__(
+        self,
+        system: "MandiPass",
+        config: "ServingConfig | None" = None,
+        resilience: "ResilienceConfig | None" = None,
+    ):
         self.system = system
         self.config = config if config is not None else system.config.serving
+        self.resilience = (
+            resilience if resilience is not None else system.config.resilience
+        )
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.resilience.breaker_failure_threshold,
+            cooldown_s=self.resilience.breaker_cooldown_s,
+        )
         self._batcher = DynamicBatcher(
             max_batch_size=self.config.max_batch_size,
             max_wait_s=self.config.max_wait_ms / 1000.0,
@@ -222,9 +269,12 @@ class AuthServer:
             return True
         budget = self.config.drain_timeout_s if timeout is None else timeout
         deadline = time.monotonic() + budget
-        for worker in self._workers:
+        # Snapshot: a dying worker's replacement may append concurrently.
+        with self._state_lock:
+            workers = list(self._workers)
+        for worker in workers:
             worker.join(max(deadline - time.monotonic(), 0.0))
-        return not any(worker.is_alive() for worker in self._workers)
+        return not any(worker.is_alive() for worker in workers)
 
     def __enter__(self) -> "AuthServer":
         return self.start()
@@ -307,20 +357,92 @@ class AuthServer:
             batch = self._batcher.next_batch()
             if batch is None:
                 return
-            self._serve_batch(batch)
+            try:
+                self._serve_batch(batch)
+            except WorkerKilledError:
+                # The batch's futures were already failed by
+                # _serve_batch; replace the dying worker so serving
+                # capacity survives the crash.
+                obs.inc("serve_worker_deaths_total")
+                self._respawn_worker()
+                return
+
+    def _respawn_worker(self) -> None:
+        with self._state_lock:
+            index = len(self._workers)
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"authserver-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        obs.inc("serve_worker_restarts_total")
+
+    def _call_batch(self, head: ServeRequest, recordings: list) -> list:
+        def invoke():
+            faults.maybe_delay("serve.worker")
+            faults.maybe_fail("serve.worker")
+            if head.kind is RequestKind.VERIFY:
+                return self.system.verify_many(head.user_id, recordings)
+            return self.system.identify_many(recordings)
+
+        timeout_s = self.resilience.stage_timeout_s
+        if timeout_s is None:
+            return invoke()
+        return call_with_timeout(
+            invoke, timeout_s, label=f"serve.{head.kind.value}"
+        )
+
+    def _fail_batch(
+        self, batch: list, error: BaseException, status: RequestStatus
+    ) -> None:
+        for request in batch:
+            request.future._fail(error, status)
 
     def _serve_batch(self, batch: list) -> None:
         head = batch[0]
-        recordings = [request.recording for request in batch]
-        try:
-            if head.kind is RequestKind.VERIFY:
-                results = self.system.verify_many(head.user_id, recordings)
-            else:
-                results = self.system.identify_many(recordings)
-        except BaseException as exc:  # e.g. user revoked mid-flight
-            for request in batch:
-                request.future._fail(exc, RequestStatus.FAILED)
+        if not self._breaker.allow():
+            obs.inc("serve_refused_total", reason="circuit_open")
+            self._fail_batch(
+                batch,
+                CircuitOpenError("circuit breaker open; request shed"),
+                RequestStatus.REFUSED,
+            )
             return
+        recordings = [request.recording for request in batch]
+        policy = self.resilience
+        attempt = 0
+        while True:
+            try:
+                results = self._call_batch(head, recordings)
+                break
+            except WorkerKilledError as exc:
+                # Terminal for this worker: answer the batch, then let
+                # the exception unwind into _worker_loop's respawn path.
+                self._breaker.record_failure()
+                self._fail_batch(batch, exc, RequestStatus.FAILED)
+                raise
+            except StageTimeoutError as exc:
+                # No retry: the stalled call is still burning a thread;
+                # piling another attempt on top multiplies the stall.
+                self._breaker.record_failure()
+                obs.inc("serve_refused_total", reason="stage_timeout")
+                self._fail_batch(batch, exc, RequestStatus.REFUSED)
+                return
+            except TransientError as exc:
+                self._breaker.record_failure()
+                if attempt >= policy.max_retries:
+                    self._fail_batch(batch, exc, RequestStatus.FAILED)
+                    return
+                obs.inc("serve_retries_total")
+                time.sleep(policy.backoff_delay(attempt))
+                attempt += 1
+            except BaseException as exc:  # e.g. user revoked mid-flight
+                self._breaker.record_failure()
+                self._fail_batch(batch, exc, RequestStatus.FAILED)
+                return
+        self._breaker.record_success()
         resolved_at = time.perf_counter()
         for request, result in zip(batch, results):
             obs.observe("serve_latency_seconds", resolved_at - request.submitted_at)

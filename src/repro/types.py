@@ -86,12 +86,18 @@ class VerificationResult:
             more alike; see DESIGN.md on the paper's convention).
         threshold: the decision threshold that was applied.
         user_id: identifier of the enrolled template that was compared.
+        degraded: the decision was made in a degraded operating mode —
+            fewer than all six IMU axes were usable, or identification
+            fell back to the slow per-user path (DESIGN.md §4g).  A
+            degraded accept is still an accept, but callers with strict
+            security postures may treat it as a step-up trigger.
     """
 
     accepted: bool
     distance: float
     threshold: float
     user_id: str
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.distance):

@@ -129,8 +129,9 @@ class TestStageEquivalence:
         batch = [
             recorder.record(population[i], trial_index=60 + i) for i in range(4)
         ]
-        signals, indices, failures = pre.process_batch_detailed(batch)
+        signals, indices, failures, degraded = pre.process_batch_detailed(batch)
         assert not failures
+        assert degraded == ()
         assert indices.tolist() == [0, 1, 2, 3]
         for row, rec in zip(signals, batch):
             assert np.allclose(row, pre.process(rec))

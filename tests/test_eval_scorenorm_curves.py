@@ -1,0 +1,325 @@
+"""Score normalisation, evaluation curves and report rendering.
+
+Covers the three previously untested ``repro.eval`` modules:
+
+* ``scorenorm`` — Z-/T-norm statistics, matrix/scalar agreement and the
+  s-norm identity over pair distances;
+* ``curves`` — DET monotonicity, exact Mann-Whitney AUC (ties,
+  symmetry, perfect separation) and both bootstrap EER intervals;
+* ``reporting`` — fixed-width table/series rendering round-trips.
+
+Plus the FAR/FRR threshold-monotonicity contract the EER solver and the
+DET transform both lean on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import pairwise_cosine_distance
+from repro.errors import ConfigError, ShapeError
+from repro.eval.curves import (
+    BootstrapCI,
+    bootstrap_eer_ci,
+    det_curve,
+    roc_auc,
+    subject_bootstrap_eer_ci,
+)
+from repro.eval.metrics import equal_error_rate, far_frr_curve
+from repro.eval.reporting import render_series, render_table
+from repro.eval.scorenorm import TNorm, ZNorm, normalized_pair_distances
+
+
+@pytest.fixture(scope="module")
+def separated_scores():
+    """Well-separated genuine/impostor distance samples."""
+    rng = np.random.default_rng(7)
+    genuine = np.clip(rng.normal(0.35, 0.06, size=400), 0.0, 2.0)
+    impostor = np.clip(rng.normal(0.95, 0.08, size=900), 0.0, 2.0)
+    return genuine, impostor
+
+
+@pytest.fixture(scope="module")
+def clustered_embeddings():
+    """(embeddings, labels): 6 subjects, 8 well-clustered trials each."""
+    rng = np.random.default_rng(3)
+    centers = rng.normal(size=(6, 32)) * 4.0
+    embeddings = np.concatenate(
+        [center + rng.normal(scale=0.3, size=(8, 32)) for center in centers]
+    )
+    labels = np.repeat(np.arange(6), 8)
+    return embeddings, labels
+
+
+# -- score normalisation ---------------------------------------------------
+
+
+class TestZNorm:
+    def test_rejects_degenerate_cohort(self):
+        with pytest.raises(ShapeError):
+            ZNorm(np.ones((1, 8)))
+        with pytest.raises(ShapeError):
+            ZNorm(np.ones(8))
+
+    def test_statistics_match_manual_cohort_distances(self, rng):
+        cohort = rng.normal(size=(20, 16))
+        template = rng.normal(size=16)
+        mean, std = ZNorm(cohort).statistics(template)
+        manual = pairwise_cosine_distance(template.reshape(1, -1), cohort)[0]
+        assert mean == pytest.approx(manual.mean())
+        assert std == pytest.approx(manual.std())
+
+    def test_normalize_standardises(self, rng):
+        cohort = rng.normal(size=(20, 16))
+        template = rng.normal(size=16)
+        znorm = ZNorm(cohort)
+        mean, std = znorm.statistics(template)
+        assert znorm.normalize(mean, template) == pytest.approx(0.0)
+        assert znorm.normalize(mean + std, template) == pytest.approx(1.0)
+
+    def test_matrix_agrees_with_scalar_path(self, rng):
+        cohort = rng.normal(size=(12, 16))
+        templates = rng.normal(size=(5, 16))
+        probes = rng.normal(size=(7, 16))
+        distances = pairwise_cosine_distance(probes, templates)
+        znorm = ZNorm(cohort)
+        matrix = znorm.normalize_matrix(distances, templates)
+        for t in range(templates.shape[0]):
+            for p in range(probes.shape[0]):
+                assert matrix[p, t] == pytest.approx(
+                    znorm.normalize(distances[p, t], templates[t])
+                )
+
+    def test_matrix_shape_validation(self, rng):
+        znorm = ZNorm(rng.normal(size=(4, 8)))
+        with pytest.raises(ShapeError):
+            znorm.normalize_matrix(np.zeros((3, 5)), np.zeros((4, 8)))
+
+
+class TestTNorm:
+    def test_rejects_degenerate_cohort(self):
+        with pytest.raises(ShapeError):
+            TNorm(np.ones((1, 8)))
+
+    def test_matrix_agrees_with_scalar_path(self, rng):
+        cohort = rng.normal(size=(12, 16))
+        templates = rng.normal(size=(5, 16))
+        probes = rng.normal(size=(7, 16))
+        distances = pairwise_cosine_distance(probes, templates)
+        tnorm = TNorm(cohort)
+        matrix = tnorm.normalize_matrix(distances, probes)
+        for p in range(probes.shape[0]):
+            for t in range(templates.shape[0]):
+                assert matrix[p, t] == pytest.approx(
+                    tnorm.normalize(distances[p, t], probes[p])
+                )
+
+    def test_matrix_shape_validation(self, rng):
+        tnorm = TNorm(rng.normal(size=(4, 8)))
+        with pytest.raises(ShapeError):
+            tnorm.normalize_matrix(np.zeros((3, 5)), np.zeros((4, 8)))
+
+
+class TestNormalizedPairDistances:
+    def test_rejects_unknown_method(self, clustered_embeddings, rng):
+        embeddings, labels = clustered_embeddings
+        with pytest.raises(ConfigError):
+            normalized_pair_distances(
+                embeddings, labels, rng.normal(size=(10, 32)), method="q-norm"
+            )
+
+    def test_rejects_mismatched_labels(self, rng):
+        with pytest.raises(ShapeError):
+            normalized_pair_distances(
+                rng.normal(size=(8, 16)),
+                np.zeros(5),
+                rng.normal(size=(10, 16)),
+            )
+
+    def test_single_class_has_no_impostor_pairs(self, rng):
+        with pytest.raises(ShapeError):
+            normalized_pair_distances(
+                rng.normal(size=(6, 16)),
+                np.zeros(6),
+                rng.normal(size=(10, 16)),
+            )
+
+    def test_snorm_is_mean_of_znorm_and_tnorm(self, clustered_embeddings, rng):
+        embeddings, labels = clustered_embeddings
+        cohort = rng.normal(size=(15, 32))
+        by_method = {
+            method: normalized_pair_distances(
+                embeddings, labels, cohort, method=method
+            )
+            for method in ("z-norm", "t-norm", "s-norm")
+        }
+        for part in (0, 1):  # genuine, impostor
+            expected = 0.5 * (
+                by_method["z-norm"][part] + by_method["t-norm"][part]
+            )
+            assert np.allclose(by_method["s-norm"][part], expected)
+
+    def test_normalisation_preserves_separation(self, clustered_embeddings, rng):
+        embeddings, labels = clustered_embeddings
+        cohort = rng.normal(size=(15, 32)) * 4.0
+        genuine, impostor = normalized_pair_distances(
+            embeddings, labels, cohort, method="s-norm"
+        )
+        assert genuine.mean() < impostor.mean()
+        eer = equal_error_rate(genuine, impostor).eer
+        assert eer < 0.1  # clusters this tight stay separable post-norm
+
+
+# -- curves ----------------------------------------------------------------
+
+
+class TestFarFrrMonotonicity:
+    def test_rates_are_monotone_in_threshold(self, separated_scores):
+        genuine, impostor = separated_scores
+        thresholds, far, frr = far_frr_curve(genuine, impostor)
+        assert np.all(np.diff(thresholds) >= 0)
+        # Raising the accept threshold can only admit more impostors
+        # (FAR nondecreasing) and refuse fewer genuines (FRR
+        # nonincreasing) — the contract the EER bisection relies on.
+        assert np.all(np.diff(far) >= 0)
+        assert np.all(np.diff(frr) <= 0)
+
+    def test_eer_sits_where_the_rates_cross(self, separated_scores):
+        genuine, impostor = separated_scores
+        result = equal_error_rate(genuine, impostor)
+        assert 0.0 <= result.eer <= 1.0
+        assert result.far_at_threshold == pytest.approx(
+            result.frr_at_threshold, abs=0.02
+        )
+        assert result.eer == pytest.approx(
+            0.5 * (result.far_at_threshold + result.frr_at_threshold),
+            abs=1e-12,
+        )
+
+
+class TestDetCurve:
+    def test_deviates_are_finite_and_monotone(self, separated_scores):
+        genuine, impostor = separated_scores
+        far_dev, frr_dev = det_curve(genuine, impostor, num_points=128)
+        assert far_dev.shape == frr_dev.shape == (128,)
+        assert np.isfinite(far_dev).all() and np.isfinite(frr_dev).all()
+        # The probit is strictly increasing, so monotone rates stay
+        # monotone in normal-deviate coordinates.
+        assert np.all(np.diff(far_dev) >= 0)
+        assert np.all(np.diff(frr_dev) <= 0)
+
+
+class TestRocAuc:
+    def test_perfect_separation_is_one(self):
+        assert roc_auc([0.1, 0.2, 0.3], [0.5, 0.6, 0.7]) == pytest.approx(1.0)
+
+    def test_total_confusion_is_zero(self):
+        assert roc_auc([0.9, 0.8], [0.1, 0.2]) == pytest.approx(0.0)
+
+    def test_all_tied_is_chance(self):
+        assert roc_auc([0.5, 0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_swapping_roles_complements(self, separated_scores):
+        genuine, impostor = separated_scores
+        forward = roc_auc(genuine, impostor)
+        assert forward > 0.95
+        assert forward + roc_auc(impostor, genuine) == pytest.approx(1.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ShapeError):
+            roc_auc([], [0.5])
+
+
+class TestBootstrapEerCi:
+    def test_parameter_validation(self, separated_scores):
+        genuine, impostor = separated_scores
+        with pytest.raises(ConfigError):
+            bootstrap_eer_ci(genuine, impostor, confidence=1.0)
+        with pytest.raises(ConfigError):
+            bootstrap_eer_ci(genuine, impostor, num_resamples=5)
+
+    def test_interval_is_seeded_and_ordered(self, rng):
+        # Overlapping distributions so resampled EERs actually vary;
+        # fully separable scores would pin every resample at zero.
+        genuine = rng.normal(0.5, 0.15, size=300)
+        impostor = rng.normal(0.8, 0.15, size=600)
+        first = bootstrap_eer_ci(genuine, impostor, num_resamples=50, seed=1)
+        second = bootstrap_eer_ci(genuine, impostor, num_resamples=50, seed=1)
+        assert isinstance(first, BootstrapCI)
+        assert first == second  # frozen dataclass, deterministic rng
+        assert 0.0 <= first.lower <= first.upper <= 1.0
+        assert first.point == equal_error_rate(genuine, impostor).eer
+        other_seed = bootstrap_eer_ci(
+            genuine, impostor, num_resamples=50, seed=2
+        )
+        assert (first.lower, first.upper) != (
+            other_seed.lower,
+            other_seed.upper,
+        )
+
+
+class TestSubjectBootstrapEerCi:
+    def test_needs_three_subjects(self, rng):
+        embeddings = rng.normal(size=(8, 16))
+        with pytest.raises(ShapeError):
+            subject_bootstrap_eer_ci(
+                embeddings, np.repeat([0, 1], 4), num_resamples=20
+            )
+
+    def test_interval_on_clustered_subjects(self, clustered_embeddings):
+        embeddings, labels = clustered_embeddings
+        ci = subject_bootstrap_eer_ci(
+            embeddings, labels, num_resamples=30, seed=4
+        )
+        assert 0.0 <= ci.lower <= ci.upper <= 1.0
+        assert ci.confidence == 0.95
+        repeat = subject_bootstrap_eer_ci(
+            embeddings, labels, num_resamples=30, seed=4
+        )
+        assert ci == repeat
+
+
+# -- reporting -------------------------------------------------------------
+
+
+class TestRenderTable:
+    def test_round_trips_cells_through_the_rendering(self):
+        headers = ["stage", "ms", "note"]
+        rows = [["onset", 1.25, "ok"], ["filter", 0.5, "vectorised"]]
+        text = render_table(headers, rows, title="latency")
+        lines = text.splitlines()
+        assert lines[0] == "latency"
+        parsed = [
+            [cell.strip() for cell in line.split(" | ")] for line in lines[3:]
+        ]
+        assert parsed == [["onset", "1.25", "ok"], ["filter", "0.5", "vectorised"]]
+        # Every row (and the rule) is padded to the same width.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_float_cells_use_four_significant_digits(self):
+        text = render_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            render_table([], [])
+        with pytest.raises(ShapeError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestRenderSeries:
+    def test_round_trips_aligned_values(self):
+        text = render_series(
+            "frr vs users", [10, 20], [0.01, 0.0234], x_label="users",
+            y_label="frr",
+        )
+        name, x_row, y_row = text.splitlines()
+        assert name == "frr vs users"
+        assert x_row.split(" | ")[1].split() == ["10", "20"]
+        assert y_row.split(" | ")[1].split() == ["0.01", "0.0234"]
+        assert x_row.index("|") == y_row.index("|")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            render_series("s", [1, 2], [1.0])

@@ -597,3 +597,110 @@ class TestEvalCacheConcurrency:
             assert result_list is not None
             for got, want in zip(result_list, baseline):
                 _assert_same_result(got, want)
+
+
+# -- shutdown edge cases (stop/submit races, worker death) ----------------
+
+
+class TestShutdownEdgeCases:
+    @watchdog()
+    def test_stop_racing_submissions_leaves_no_pending_future(
+        self, serve_system
+    ):
+        """Every future submitted across a stop() reaches a terminal state.
+
+        A submitter hammers the server while the main thread stops it:
+        whichever side of admission each request lands on, its future
+        must resolve (served by the drain or rejected) — never hang in
+        PENDING.
+        """
+        system, user_id, probes = serve_system
+        config = ServingConfig(max_batch_size=4, max_wait_ms=1.0)
+        server = AuthServer(system, config=config).start()
+        futures: list = []
+        submitting = threading.Event()
+
+        def submitter() -> None:
+            for i in range(40):
+                futures.append(server.verify(user_id, probes[i % len(probes)]))
+                submitting.set()
+
+        thread = threading.Thread(target=submitter, daemon=True)
+        thread.start()
+        submitting.wait(5)  # overlap stop() with live submissions
+        assert server.stop(drain=True) is True
+        thread.join(10)
+        assert len(futures) == 40
+        for future in futures:
+            assert future.wait(30), "future left pending across stop()"
+            assert future.status in (
+                RequestStatus.OK,
+                RequestStatus.REJECTED,
+            )
+
+    @watchdog()
+    def test_double_stop_is_idempotent(self, serve_system):
+        system, user_id, probes = serve_system
+        server = AuthServer(system).start()
+        future = server.verify(user_id, probes[0])
+        assert server.stop(drain=True) is True
+        assert future.status is RequestStatus.OK
+        # Stopping again (any flavour) is a no-op that still reports
+        # the workers as down.
+        assert server.stop(drain=True) is True
+        assert server.stop(drain=False) is True
+
+    @watchdog()
+    def test_stop_never_started_then_stop_again(self, serve_system):
+        system, user_id, probes = serve_system
+        server = AuthServer(system)
+        future = server.verify(user_id, probes[0])
+        server.stop()
+        assert future.status is RequestStatus.REJECTED
+        assert server.stop() is True  # second stop: nothing left to do
+
+    @watchdog()
+    def test_worker_death_settles_each_future_exactly_once(
+        self, serve_system, monkeypatch
+    ):
+        """Injected worker death: the doomed batch's futures settle once.
+
+        The dying worker fails the whole batch and its replacement must
+        not answer those futures a second time; counting *successful*
+        settles through the idempotent ``_settle`` pins exactly-once.
+        """
+        from repro.faults import FaultPlan, FaultRule
+        from repro.errors import WorkerKilledError
+        from repro.serve.server import AuthFuture
+
+        system, user_id, probes = serve_system
+        settle_counts: dict[int, int] = {}
+        original = AuthFuture._settle
+
+        def counting(self, value, error, status):
+            settled = original(self, value, error, status)
+            if settled:
+                settle_counts[id(self)] = settle_counts.get(id(self), 0) + 1
+            return settled
+
+        monkeypatch.setattr(AuthFuture, "_settle", counting)
+        config = ServingConfig(
+            num_workers=1, max_batch_size=4, max_wait_ms=5000.0
+        )
+        server = AuthServer(system, config=config)
+        plan = FaultPlan(
+            [FaultRule("serve.worker", "kill", max_fires=1)], seed=0
+        )
+        with plan.active():
+            with server:
+                doomed = [server.verify(user_id, probes[i]) for i in range(4)]
+                for future in doomed:
+                    assert future.wait(30)
+                    assert future.status is RequestStatus.FAILED
+                    assert isinstance(future.exception(0), WorkerKilledError)
+                # The respawned worker still serves fresh traffic.
+                survivor = server.verify(user_id, probes[4])
+                assert survivor.wait(30)
+                assert survivor.status is RequestStatus.OK
+        assert set(settle_counts.values()) == {1}
+        assert len(settle_counts) == 5
