@@ -231,6 +231,37 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gallery_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.gallery.bench import gallery_benchmark, write_results
+
+    sizes = (
+        tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None
+    )
+    print(f"gallery scale benchmark ({'quick' if args.quick else 'full'} mode)")
+    data = gallery_benchmark(quick=args.quick, sizes=sizes)
+    for point in data["sweep"]:
+        identify = point["identify"]
+        updates = point["updates"]
+        print(
+            f"  U={point['num_users']:>7}: "
+            f"cascade {identify['cascade_per_probe_s'] * 1e3:7.2f} ms/probe, "
+            f"dense {identify['dense_per_probe_s'] * 1e3:7.2f} ms "
+            f"({identify['speedup_vs_dense']:.2f}x), "
+            f"pool {identify['rerank_pool_mean']:.0f}, "
+            f"enroll {updates['enroll_s'] * 1e6:6.0f} us "
+            f"(rebuild {updates['rebuild_over_enroll']:.0f}x slower)"
+        )
+    claims = data["claims"]
+    for name, held in claims.items():
+        print(f"  {name:<28}: {'PASS' if held else 'FAIL'}")
+    if args.output:
+        path = write_results(data, Path(args.output))
+        print(f"# report written to {path}", file=sys.stderr)
+    return 0 if all(claims.values()) else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -339,6 +370,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here",
     )
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    gallery_bench = sub.add_parser(
+        "gallery-bench",
+        help="sharded-gallery U-sweep: update latency, cascade vs dense gemm",
+    )
+    gallery_bench.add_argument("--quick", action="store_true",
+                               help="CI smoke: sweep 1k/10k users only")
+    gallery_bench.add_argument(
+        "--sizes", default=None,
+        help="comma-separated user counts (overrides quick/full sweep)",
+    )
+    gallery_bench.add_argument(
+        "--output", default="BENCH_gallery.json",
+        help="write the JSON report here (empty string to skip)",
+    )
+    gallery_bench.set_defaults(func=_cmd_gallery_bench)
 
     chaos = sub.add_parser(
         "chaos",

@@ -177,6 +177,70 @@ class InferenceConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class GalleryConfig:
+    """Sharded 1:N gallery policy (:mod:`repro.core.gallery`).
+
+    The identification gallery is stored as fixed-size template shards
+    that are updated row-by-row (append on enroll, overwrite-in-place
+    on renew/adapt, tombstone on revoke) and scored through a
+    coarse-prescreen + exact-rerank cascade.  The cascade is *sound*:
+    the prescreen computes a lower bound on every user's cosine
+    distance, so the rerank pool provably contains the argmin and
+    identify decisions are bitwise identical to per-user loop scoring —
+    only the cost changes (DESIGN.md §4h).
+
+    Attributes:
+        shard_size: users per shard.  Shards are scored independently
+            (enabling fan-out) and compacted independently, so this
+            bounds both the largest single gemm and the cost of one
+            compaction.
+        top_k: rerank-pool seed size — the k most promising users per
+            probe that are always scored exactly.  The pool then grows
+            by the soundness rule (every user whose distance lower
+            bound beats the best exact distance joins), so ``top_k``
+            tunes cost, never correctness.
+        prescreen_rank: columns of each user's Gaussian matrix the
+            prescreen pass projects through (capped at ``out_dim``).
+            The prescreen gemm costs ``rank / out_dim`` of the full
+            gemm; the bound it yields loosens as
+            ``sqrt(out_dim / rank)``, which sets the rerank-pool size —
+            32 against the 64-dim projected templates keeps the pool
+            in the tens at U=100k while still halving the gemm.
+        prescreen_dtype: dtype of the prescreen pass.  ``"float32"``
+            halves memory traffic; rounding is absorbed by the bound's
+            slack terms, so decisions never move.
+        compact_tombstone_ratio: tombstoned fraction of a shard's
+            occupied slots above which the next sync compacts it
+            (build-then-swap, O(shard_size) — never O(U)).
+        score_threads: shards scored concurrently during the prescreen
+            pass.  1 (default) scores inline; more overlaps the
+            per-shard gemms on multi-core hosts (numpy releases the
+            GIL inside BLAS).
+    """
+
+    shard_size: int = 1024
+    top_k: int = 16
+    prescreen_rank: int = 32
+    prescreen_dtype: str = "float32"
+    compact_tombstone_ratio: float = 0.25
+    score_threads: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.shard_size > 0, "shard_size must be positive")
+        _require(self.top_k > 0, "top_k must be positive")
+        _require(self.prescreen_rank > 0, "prescreen_rank must be positive")
+        _require(
+            self.prescreen_dtype in ("float32", "float64"),
+            "prescreen_dtype must be 'float32' or 'float64'",
+        )
+        _require(
+            0.0 < self.compact_tombstone_ratio <= 1.0,
+            "compact_tombstone_ratio must lie in (0, 1]",
+        )
+        _require(self.score_threads >= 1, "score_threads must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
 class ServingConfig:
     """Concurrent-serving policy for :class:`repro.serve.AuthServer`.
 
@@ -200,6 +264,11 @@ class ServingConfig:
             more overlap queueing with compute on multi-core hosts.
         drain_timeout_s: how long ``stop(drain=True)`` waits for the
             workers to finish the accepted backlog.
+        warm_gallery_on_start: build/sync the 1:N identification
+            gallery when the server starts, so the first identify
+            request does not pay the shard builds for the whole
+            enrolled backlog.  Best-effort: a transient warm-up
+            failure falls back to the lazy per-request sync.
     """
 
     max_batch_size: int = 64
@@ -207,6 +276,7 @@ class ServingConfig:
     queue_capacity: int = 1024
     num_workers: int = 1
     drain_timeout_s: float = 30.0
+    warm_gallery_on_start: bool = True
 
     def __post_init__(self) -> None:
         _require(self.max_batch_size > 0, "max_batch_size must be positive")
@@ -331,6 +401,7 @@ class MandiPassConfig:
     inference: InferenceConfig = dataclasses.field(default_factory=InferenceConfig)
     serving: ServingConfig = dataclasses.field(default_factory=ServingConfig)
     resilience: ResilienceConfig = dataclasses.field(default_factory=ResilienceConfig)
+    gallery: GalleryConfig = dataclasses.field(default_factory=GalleryConfig)
 
     def __post_init__(self) -> None:
         _require(

@@ -1,0 +1,88 @@
+"""The gallery mutation log: how enrollment changes reach the shards.
+
+The system facade mutates templates under its write lock (enroll /
+revoke / renew / adapt); the sharded gallery consumes those changes
+lazily, at the next identification.  The :class:`MutationLog` is the
+seam between the two: the write side appends an O(1) record per
+mutation (no array work — enrollment latency is independent of the
+enrolled population), and :meth:`ShardedGallery.sync
+<repro.core.gallery.sharded.ShardedGallery.sync>` drains the log into
+row-level shard updates.
+
+Ordering is the contract: the log preserves mutation order, so an
+upsert followed by a remove of the same user lands in that order and
+the gallery converges to the facade's state.  Entries are popped only
+*after* a successful apply — an injected fault mid-drain leaves the
+remaining entries queued, and the next sync retries them (exactly-once
+application, at-least-once attempts).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+from typing import Callable, Union
+
+import numpy as np
+
+#: A Gaussian matrix, either resident or produced on demand.  Lazy
+#: providers let million-row galleries avoid holding every ``in x out``
+#: matrix in memory: the prescreen keeps only ``rank`` columns per user
+#: and the provider is re-invoked for the handful of rerank candidates.
+MatrixSource = Union[np.ndarray, Callable[[], np.ndarray]]
+
+
+def resolve_matrix(source: MatrixSource) -> np.ndarray:
+    """Materialise a matrix source as a float64 2-D array."""
+    matrix = source() if callable(source) else source
+    return np.asarray(matrix, dtype=np.float64)
+
+
+@dataclasses.dataclass(frozen=True)
+class GalleryMutation:
+    """One logged enrollment change.
+
+    Attributes:
+        kind: ``"upsert"`` (enroll / renew / template adaptation) or
+            ``"remove"`` (revocation).
+        user_id: the affected identity.
+        matrix: the user's Gaussian matrix (or provider) for upserts.
+        template: the sealed cancelable template for upserts, float64.
+    """
+
+    kind: str
+    user_id: str
+    matrix: MatrixSource | None = None
+    template: np.ndarray | None = None
+
+
+class MutationLog:
+    """A thread-safe FIFO of :class:`GalleryMutation` entries.
+
+    Appends are cheap and lock-scoped, so the facade's write-side
+    latency stays O(1) in the enrolled population; draining peeks the
+    head and pops only after the caller applied it successfully.
+    """
+
+    def __init__(self) -> None:
+        self._entries: collections.deque[GalleryMutation] = collections.deque()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, mutation: GalleryMutation) -> None:
+        with self._lock:
+            self._entries.append(mutation)
+
+    def peek(self) -> GalleryMutation | None:
+        """The oldest unapplied mutation, without removing it."""
+        with self._lock:
+            return self._entries[0] if self._entries else None
+
+    def pop(self) -> None:
+        """Drop the head entry (after a successful apply)."""
+        with self._lock:
+            if self._entries:
+                self._entries.popleft()

@@ -1,0 +1,541 @@
+"""Sharded, incrementally-updatable 1:N gallery with a sound cascade.
+
+The dense :class:`~repro.core.gallery.dense.TemplateGallery` made 1:N
+scoring one gemm, but moved the cliff to its own construction: every
+enrollment change forced an O(U) rebuild (1.6 s at U=1000 in
+``BENCH_hotpath.json``).  :class:`ShardedGallery` removes both cliffs:
+
+* **Row-level incremental updates.**  Mutations arrive through a
+  :class:`~repro.core.gallery.log.MutationLog` (append on enroll,
+  overwrite-in-place on renew/adapt, tombstone on revoke) and are
+  applied to fixed-size :class:`~repro.core.gallery.shard.GalleryShard`
+  blocks — O(in * out) per mutation, independent of the enrolled
+  population.  A shard whose tombstone ratio crosses the configured
+  threshold is compacted in isolation (O(shard_size), build-then-swap).
+
+* **Coarse-prescreen + exact-rerank cascade.**  Scoring all users
+  exactly costs one ``(B, in) @ (in, U * out)`` gemm.  The prescreen
+  pass instead bounds every user's cosine distance from below using
+  ``rank << out`` columns, seeds a top-K rerank pool, and the exact
+  stage replays the per-user loop's own operations (one dgemv + one
+  :func:`~repro.core.similarity.cosine_distance`) for pool members
+  only.
+
+**Soundness of the prescreen bound.**  For user ``u`` with Gaussian
+matrix ``G`` and unit template ``t_hat``, the loop scores
+``d = 1 - clip(cos)`` with ``cos = (x G) . t_hat / ||x G||``.  The
+numerator equals ``x . w`` with ``w = G t_hat`` precomputed — exact
+from one thin gemm.  For the denominator, with ``p`` the norm of ``x``
+projected through the first ``rank`` columns and
+``R = sum_{j >= rank} ||G[:, j]||^2``:
+
+* ``||x G||^2 >= p^2`` (dropping the tail only shrinks the sum), and
+* ``||x G||^2 <= p^2 + ||x||^2 R`` (Cauchy-Schwarz per tail column).
+
+So ``cos <= num / p`` when ``num >= 0`` and
+``cos <= num / sqrt(p^2 + ||x||^2 R)`` when ``num < 0`` — an upper
+bound on the cosine, hence a lower bound on the distance.  Slack
+factors absorb float32 prescreen rounding and gemm re-association, so
+the bound survives finite precision.  Any user whose distance lower
+bound beats the best exact distance found so far joins the rerank
+pool; one expansion round suffices (exact distances only shrink the
+qualifying set), so **the pool provably contains the argmin** — and
+every tie, since a tied user's lower bound also qualifies.  Ties
+resolve on the global enrollment sequence number, matching the
+first-wins semantics of the per-user dict loop.  The cascade therefore
+returns bitwise the same decision as the loop; only the cost depends
+on the bound's tightness (worst case: a full, still-exact rerank).
+
+Concurrency: the gallery carries its own writer-preferring
+:class:`~repro.serve.locks.RWLock` — :meth:`sync` applies mutations
+under the write side, scoring runs under the read side, and log
+appends touch neither (they take only the log's own mutex, so the
+facade's write-lock latency stays O(1)).  Under the system facade the
+outer RWLock already excludes mutations from in-flight scoring; the
+inner lock makes the gallery safe for direct multi-threaded use too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import GalleryConfig
+from repro.core.gallery.log import GalleryMutation, MatrixSource, MutationLog
+from repro.core.gallery.shard import GalleryShard
+from repro.core.similarity import cosine_distance
+from repro.errors import ShapeError
+from repro.faults import runtime as faults
+from repro.obs import runtime as obs
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+from repro.serve.locks import RWLock
+
+#: Relative slack on the prescreen denominators: float32 projection of
+#: one probe accumulates at most ~in * 2^-24 relative error, orders of
+#: magnitude under 1e-4; the bound stays sound with room to spare.
+_DENOM_SLACK = 1e-4
+#: Relative + absolute slack on the cosine upper bound, absorbing
+#: float64 gemm re-association in the numerator pass.
+_UB_REL_SLACK = 1e-6
+_UB_ABS_SLACK = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class GalleryMatch:
+    """Best match for one probe: the argmin user and its exact distance."""
+
+    user_id: str
+    distance: float
+
+
+class ShardedGallery:
+    """Incrementally-updatable sharded gallery with cascade scoring."""
+
+    def __init__(self, config: GalleryConfig | None = None) -> None:
+        self.config = config if config is not None else GalleryConfig()
+        self._log = MutationLog()
+        self._lock = RWLock()
+        self._shards: list[GalleryShard] = []
+        self._index: dict[str, tuple[int, int]] = {}  # user -> (shard, slot)
+        self._dirty: set[int] = set()  # shards to check for compaction
+        self._seq = 0
+        self._compactions = 0
+        # Population counters maintained incrementally so per-mutation
+        # bookkeeping (gauges, num_users) never scans the shards —
+        # update latency must stay O(1) in U.
+        self._alive_count = 0
+        self._tombstone_count = 0
+        # Concatenated scoring table ((shard, slot) map, alive/seq/tail
+        # arrays), rebuilt lazily after any applied mutation.
+        self._score_table: tuple | None = None
+        self.in_dim: int | None = None
+        self.out_dim: int | None = None
+        self._screen_pool = None
+
+    # -- mutation side (O(1) in U; callers may hold any outer lock) -----
+
+    def upsert(
+        self, user_id: str, matrix: MatrixSource, template: np.ndarray
+    ) -> None:
+        """Log an enroll / renew / adapt for the next :meth:`sync`."""
+        self._log.append(
+            GalleryMutation(
+                kind="upsert",
+                user_id=user_id,
+                matrix=matrix,
+                template=np.asarray(template, dtype=np.float64).reshape(-1),
+            )
+        )
+        obs.inc("gallery_mutations_total", kind="upsert")
+
+    def remove(self, user_id: str) -> None:
+        """Log a revocation for the next :meth:`sync`."""
+        self._log.append(GalleryMutation(kind="remove", user_id=user_id))
+        obs.inc("gallery_mutations_total", kind="remove")
+
+    @property
+    def pending(self) -> int:
+        """Logged mutations not yet applied to the shards."""
+        return len(self._log)
+
+    # -- apply side -----------------------------------------------------
+
+    def sync(self) -> None:
+        """Drain the mutation log into the shards; compact if due.
+
+        Raises :class:`~repro.errors.TransientError` subclasses when an
+        injected build fault fires; already-applied mutations stay
+        applied, unapplied ones stay logged, and the next sync retries.
+        Compaction faults are contained: the affected shard keeps its
+        tombstones (still correct, just uncompacted) and is retried on
+        the next sync.
+        """
+        if not len(self._log) and not self._dirty:
+            return
+        with self._lock.write_locked(), obs.span("gallery_sync"):
+            if len(self._log):
+                faults.maybe_fail("gallery.build")
+            applied = False
+            while True:
+                mutation = self._log.peek()
+                if mutation is None:
+                    break
+                self._apply(mutation)
+                self._log.pop()
+                applied = True
+            if self._maybe_compact() or applied:
+                self._score_table = None
+            self._publish_gauges()
+
+    def _apply(self, mutation: GalleryMutation) -> None:
+        faults.maybe_fail("gallery.shard_build")
+        faults.maybe_delay("gallery.shard_build")
+        if mutation.kind == "remove":
+            location = self._index.pop(mutation.user_id, None)
+            if location is not None:
+                shard_index, slot = location
+                self._shards[shard_index].kill_slot(slot)
+                self._dirty.add(shard_index)
+                self._alive_count -= 1
+                self._tombstone_count += 1
+            return
+        if self.in_dim is None:
+            matrix = np.asarray(
+                mutation.matrix() if callable(mutation.matrix) else mutation.matrix
+            )
+            if matrix.ndim != 2:
+                raise ShapeError("each projection matrix must be 2-D")
+            self.in_dim, self.out_dim = matrix.shape
+        location = self._index.get(mutation.user_id)
+        if location is not None:
+            # Renew / adapt: overwrite in place, keeping the slot's
+            # enrollment sequence number (dict-order parity: assigning
+            # an existing key does not move it).
+            shard_index, slot = location
+            shard = self._shards[shard_index]
+            shard.write_slot(
+                slot,
+                mutation.user_id,
+                mutation.matrix,
+                mutation.template,
+                int(shard.seq[slot]),
+            )
+            return
+        shard_index = len(self._shards) - 1
+        if shard_index < 0 or not self._shards[shard_index].has_space:
+            self._shards.append(
+                GalleryShard(
+                    capacity=self.config.shard_size,
+                    in_dim=self.in_dim,
+                    out_dim=self.out_dim,
+                    rank=self.config.prescreen_rank,
+                    prescreen_dtype=self.config.prescreen_dtype,
+                )
+            )
+            shard_index = len(self._shards) - 1
+        slot = self._shards[shard_index].append(
+            mutation.user_id, mutation.matrix, mutation.template, self._seq
+        )
+        self._index[mutation.user_id] = (shard_index, slot)
+        self._seq += 1
+        self._alive_count += 1
+
+    def _maybe_compact(self) -> bool:
+        """Compact dirty shards past the tombstone threshold.
+
+        Build-then-swap per shard: a fault mid-build leaves the old
+        shard (tombstones included) fully consistent, so scoring never
+        observes a half-compacted block; the shard stays flagged and
+        the next sync retries.  Returns True if any shard was swapped.
+        """
+        from repro.errors import TransientError
+
+        threshold = self.config.compact_tombstone_ratio
+        swapped = False
+        for shard_index in sorted(self._dirty):
+            shard = self._shards[shard_index]
+            if shard.tombstone_ratio() <= threshold or shard.tombstones == 0:
+                self._dirty.discard(shard_index)
+                continue
+            try:
+                with obs.span("gallery_compact"):
+                    faults.maybe_fail("gallery.compact")
+                    faults.maybe_delay("gallery.compact")
+                    replacement = shard.compacted()
+            except TransientError:
+                obs.inc("gallery_compaction_failures_total")
+                continue  # contained: retried on the next sync
+            self._tombstone_count -= shard.tombstones
+            self._shards[shard_index] = replacement
+            for slot in range(replacement.count):
+                self._index[replacement.user_ids[slot]] = (shard_index, slot)
+            self._dirty.discard(shard_index)
+            self._compactions += 1
+            swapped = True
+            obs.inc("gallery_compactions_total")
+        return swapped
+
+    def _publish_gauges(self) -> None:
+        obs.set_gauge("gallery_users", self._alive_count)
+        obs.set_gauge("gallery_shards", len(self._shards))
+        obs.set_gauge("gallery_tombstones", self._tombstone_count)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def num_users(self) -> int:
+        """Alive (non-tombstoned) users currently applied to shards."""
+        return self._alive_count
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def compactions(self) -> int:
+        return self._compactions
+
+    def users(self) -> list[str]:
+        """Alive user ids in enrollment-sequence order."""
+        rows = []
+        for shard in self._shards:
+            for slot in range(shard.count):
+                if shard.alive[slot]:
+                    rows.append((int(shard.seq[slot]), shard.user_ids[slot]))
+        return [user_id for _, user_id in sorted(rows)]
+
+    def stats(self) -> dict:
+        return {
+            "users": self.num_users,
+            "shards": self.num_shards,
+            "tombstones": self._tombstone_count,
+            "pending_mutations": self.pending,
+            "compactions": self._compactions,
+            "resident_nbytes": sum(shard.nbytes() for shard in self._shards),
+        }
+
+    # -- scoring side ---------------------------------------------------
+
+    def best_match(self, embeddings: np.ndarray) -> list[GalleryMatch | None]:
+        """The argmin user per probe, bitwise-equal to per-user loop scoring.
+
+        Syncs pending mutations first (read-your-writes), then runs the
+        prescreen + exact-rerank cascade under the read lock.  Returns
+        one :class:`GalleryMatch` per probe row, or ``None`` when no
+        user is alive.
+        """
+        self.sync()
+        with self._lock.read_locked(), obs.span("gallery_score"):
+            return self._cascade(embeddings)
+
+    def _screen_shard(
+        self, shard: GalleryShard, probes: np.ndarray, probes_ps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's numerator and partial-norm blocks, ``(B, count)``."""
+        numerators = probes @ shard.numer_block()
+        projected = probes_ps @ shard.prescreen_block()
+        batch = probes.shape[0]
+        # Squared partial norms accumulated in the prescreen dtype; the
+        # extra float32 rounding (~rank * 2^-24 relative) is orders of
+        # magnitude inside the _DENOM_SLACK the bound already carries.
+        partial_sq = np.einsum(
+            "bcr,bcr->bc",
+            projected.reshape(batch, shard.count, shard.rank),
+            projected.reshape(batch, shard.count, shard.rank),
+        )
+        return numerators, np.sqrt(partial_sq.astype(np.float64))
+
+    def _screen(
+        self, probes: np.ndarray, shards: list[GalleryShard]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        probes_ps = probes.astype(self.config.prescreen_dtype, copy=False)
+        if self.config.score_threads > 1 and len(shards) > 1:
+            if self._screen_pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._screen_pool = ThreadPoolExecutor(
+                    max_workers=self.config.score_threads,
+                    thread_name_prefix="gallery-screen",
+                )
+            blocks = list(
+                self._screen_pool.map(
+                    lambda shard: self._screen_shard(shard, probes, probes_ps),
+                    shards,
+                )
+            )
+        else:
+            blocks = [
+                self._screen_shard(shard, probes, probes_ps) for shard in shards
+            ]
+        numerators = np.concatenate([block[0] for block in blocks], axis=1)
+        partials = np.concatenate([block[1] for block in blocks], axis=1)
+        return numerators, partials
+
+    def _score_state(self) -> tuple:
+        """The concatenated slot table, cached between mutations.
+
+        Built under the read lock (mutations are excluded, so a
+        concurrent rebuild by two readers is merely redundant) and
+        dropped by :meth:`sync` whenever a mutation or compaction
+        lands, so scoring never pays the O(U) concatenation per call.
+        """
+        table = self._score_table
+        if table is None:
+            shards = [shard for shard in self._shards if shard.count]
+            slots: list[tuple[GalleryShard, int]] = []
+            for shard in shards:
+                slots.extend((shard, slot) for slot in range(shard.count))
+            if shards:
+                alive = np.concatenate([s.alive_block() for s in shards])
+                seqs = np.concatenate([s.seq_block() for s in shards])
+                tails = np.concatenate([s.tail_block() for s in shards])
+            else:
+                alive = np.zeros(0, dtype=bool)
+                seqs = np.zeros(0, dtype=np.int64)
+                tails = np.zeros(0)
+            table = (shards, slots, alive, seqs, tails)
+            self._score_table = table
+        return table
+
+    def _cascade(self, embeddings: np.ndarray) -> list[GalleryMatch | None]:
+        probes = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        if self._alive_count == 0:
+            return [None] * probes.shape[0]
+        if probes.shape[1] != self.in_dim:
+            raise ShapeError(
+                f"expected (B, {self.in_dim}) embeddings, got {probes.shape}"
+            )
+        shards, slots, alive, seqs, tails = self._score_state()
+        alive_total = self._alive_count
+
+        with obs.span("gallery_prescreen"):
+            numerators, partials = self._screen(probes, shards)
+        norms = np.linalg.norm(probes, axis=1)
+        denom_lb = partials * (1.0 - _DENOM_SLACK)
+        denom_ub = np.sqrt(
+            np.square(partials) + np.square(norms)[:, None] * tails[None, :]
+        ) * (1.0 + _DENOM_SLACK)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            upper = np.where(
+                numerators >= 0.0,
+                np.where(denom_lb > 0.0, numerators / denom_lb, np.inf),
+                np.where(denom_ub > 0.0, numerators / denom_ub, 0.0),
+            )
+        upper = np.minimum(
+            upper + np.abs(upper) * _UB_REL_SLACK + _UB_ABS_SLACK, 1.0
+        )
+        lower_dist = 1.0 - upper
+        lower_dist[:, ~alive] = np.inf
+
+        top_k = min(self.config.top_k, alive_total)
+        matrix_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        results: list[GalleryMatch | None] = []
+        with obs.span("gallery_rerank"):
+            for row in range(probes.shape[0]):
+                results.append(
+                    self._rerank_probe(
+                        probes[row],
+                        norms[row],
+                        lower_dist[row],
+                        slots,
+                        seqs,
+                        alive,
+                        top_k,
+                        matrix_cache,
+                    )
+                )
+        return results
+
+    def _exact_distance(
+        self,
+        probe: np.ndarray,
+        column: int,
+        slots: list[tuple[GalleryShard, int]],
+        matrix_cache: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> float:
+        """Replay the per-user loop's own ops for one candidate (bitwise)."""
+        cached = matrix_cache.get(column)
+        if cached is None:
+            shard, slot = slots[column]
+            cached = (shard.matrix_for(slot), shard.template_for(slot))
+            matrix_cache[column] = cached
+        matrix, template = cached
+        return cosine_distance(probe @ matrix, template)
+
+    def _rerank_probe(
+        self,
+        probe: np.ndarray,
+        norm: float,
+        lower: np.ndarray,
+        slots: list[tuple[GalleryShard, int]],
+        seqs: np.ndarray,
+        alive: np.ndarray,
+        top_k: int,
+        matrix_cache: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> GalleryMatch:
+        if norm == 0.0:
+            # Zero probes are maximally distant (1.0) from every user;
+            # the loop keeps the first enrolled — i.e. the minimum
+            # sequence number.
+            alive_columns = np.flatnonzero(alive)
+            first = alive_columns[np.argmin(seqs[alive_columns])]
+            shard, slot = slots[int(first)]
+            obs.observe(
+                "gallery_rerank_pool", 0.0, buckets=DEFAULT_SIZE_BUCKETS
+            )
+            return GalleryMatch(shard.user_ids[slot], 1.0)
+        if top_k < lower.shape[0]:
+            seed = np.argpartition(lower, top_k - 1)[:top_k]
+        else:
+            seed = np.flatnonzero(alive)
+        best_column = -1
+        best_distance = np.inf
+        best_seq = np.iinfo(np.int64).max
+        done: set[int] = set()
+
+        def rerank(columns: np.ndarray) -> None:
+            nonlocal best_column, best_distance, best_seq
+            # Scan order is irrelevant: minimising (distance, seq) is
+            # order-independent, so the result is deterministic.
+            for column in columns:
+                column = int(column)
+                if not alive[column] or column in done:
+                    continue
+                done.add(column)
+                distance = self._exact_distance(
+                    probe, column, slots, matrix_cache
+                )
+                if distance < best_distance or (
+                    distance == best_distance and seqs[column] < best_seq
+                ):
+                    best_column = column
+                    best_distance = distance
+                    best_seq = int(seqs[column])
+
+        rerank(seed)
+        # Soundness expansion: every user whose distance lower bound
+        # could still beat (or tie) the best exact distance must be
+        # scored exactly.  Exact distances only shrink the qualifying
+        # set, so one round converges.
+        rerank(np.flatnonzero(lower <= best_distance))
+        obs.observe(
+            "gallery_rerank_pool", float(len(done)), buckets=DEFAULT_SIZE_BUCKETS
+        )
+        shard, slot = slots[best_column]
+        return GalleryMatch(shard.user_ids[slot], float(best_distance))
+
+    def exact_distances_batch(
+        self, embeddings: np.ndarray
+    ) -> tuple[list[str], np.ndarray]:
+        """Loop-exact distances of every probe to every alive user.
+
+        Test/diagnostic helper: O(U) per probe by construction (it *is*
+        the per-user loop, vectorised over nothing).  Returns the alive
+        user ids in enrollment-sequence order and a ``(B, U)`` matrix
+        aligned with them.
+        """
+        self.sync()
+        with self._lock.read_locked():
+            probes = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+            rows = []
+            for shard in self._shards:
+                for slot in range(shard.count):
+                    if shard.alive[slot]:
+                        rows.append((int(shard.seq[slot]), shard, slot))
+            rows.sort(key=lambda row: row[0])
+            distances = np.empty((probes.shape[0], len(rows)))
+            for column, (_, shard, slot) in enumerate(rows):
+                matrix = shard.matrix_for(slot)
+                template = shard.template_for(slot)
+                for batch_row in range(probes.shape[0]):
+                    distances[batch_row, column] = cosine_distance(
+                        probes[batch_row] @ matrix, template
+                    )
+            return [shard.user_ids[slot] for _, shard, slot in rows], distances
+
+    def close(self) -> None:
+        """Release the optional prescreen thread pool."""
+        if self._screen_pool is not None:
+            self._screen_pool.shutdown(wait=False)
+            self._screen_pool = None

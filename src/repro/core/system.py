@@ -17,7 +17,7 @@ from repro.core.engine import InferenceEngine
 from repro.core.enrollment import enroll_user
 from repro.core.extractor import TwoBranchExtractor
 from repro.core.frontend import make_frontend
-from repro.core.gallery import TemplateGallery
+from repro.core.gallery import ShardedGallery
 from repro.core.similarity import accept, cosine_distance, distances_to_template
 from repro.core.verification import verify_batch, verify_presented_vector
 from repro.dsp.pipeline import Preprocessor
@@ -28,7 +28,6 @@ from repro.errors import (
     TransientError,
     VerificationError,
 )
-from repro.faults import runtime as faults
 from repro.obs import runtime as obs
 from repro.security.cancelable import CancelableTransform
 from repro.serve.locks import RWLock
@@ -74,9 +73,13 @@ class MandiPass:
         )
         self.enclave = enclave or SecureEnclave()
         self._transforms: dict[str, CancelableTransform] = {}
-        # Derived 1:N scoring cache; rebuilt lazily, dropped whenever
-        # the enrolled set or a sealed template changes.
-        self._gallery: TemplateGallery | None = None
+        # Derived 1:N scoring state.  ``None`` means "rebuild from the
+        # enclave on next use" (the cold-start and explicit-reset
+        # sentinel); once built, template mutations reach it as O(1)
+        # mutation-log appends through :meth:`_gallery_mutation` and are
+        # applied incrementally at the next sync — never an O(U)
+        # rebuild.
+        self._gallery: ShardedGallery | None = None
         # Concurrency contract (DESIGN.md §4f): scoring entry points
         # (verify_many / identify_many / verify_presented) take the
         # read side and may run concurrently from serving workers;
@@ -124,7 +127,9 @@ class MandiPass:
             )
             self._transforms[user_id] = transform
             self.enclave.seal(user_id, result.cancelable_template, transform.seed)
-            self._gallery = None
+            self._gallery_mutation(
+                "upsert", user_id, transform, result.cancelable_template
+            )
             obs.set_gauge("enrolled_users", len(self._transforms))
             return result.used_recordings
 
@@ -184,41 +189,86 @@ class MandiPass:
 
     # ------------------------------------------------------------------
 
-    def _current_gallery(self) -> TemplateGallery | None:
-        """The 1:N scoring gallery, rebuilt lazily after any change.
+    def _gallery_mutation(
+        self,
+        kind: str,
+        user_id: str,
+        transform: CancelableTransform | None = None,
+        template: np.ndarray | None = None,
+    ) -> None:
+        """The single gallery-invalidation seam for template mutations.
 
-        Every template mutation goes through this facade (enroll,
-        revoke, renew, adapt) and drops the cache; sealing templates
-        into the enclave behind the facade's back leaves a stale
-        gallery.
+        Every path that changes the enrolled set or a sealed template
+        (enroll, revoke, renew via its nested enroll, adapt_template)
+        funnels through here instead of dropping the derived gallery:
+        the change becomes one O(1) mutation-log append — an upsert
+        carrying the already-in-hand matrix and template (no extra
+        enclave unseal, so the audit log sees only the mutation's own
+        accesses) or a tombstoning remove — applied incrementally at
+        the next sync.  Callers hold the facade write lock.
+
+        A ``None`` gallery means nothing is derived yet; the next
+        :meth:`_current_gallery` rebuild reads the post-mutation state
+        from the enclave, so there is nothing to log.
+        """
+        gallery = self._gallery
+        if gallery is None:
+            return
+        if kind == "remove":
+            gallery.remove(user_id)
+        else:
+            gallery.upsert(user_id, transform.matrix, np.asarray(template))
+
+    def _current_gallery(self) -> ShardedGallery:
+        """The 1:N scoring gallery, constructed lazily on first use.
+
+        Cold start (or an explicit :meth:`reset_gallery`) enqueues one
+        upsert per enrolled user into a fresh :class:`ShardedGallery`;
+        the enqueue itself does no array work — shards materialise at
+        the next sync, where injected build faults can fire and are
+        absorbed by the fallback path.  Once built, the instance is
+        permanent: later mutations arrive through
+        :meth:`_gallery_mutation` as incremental log entries.
 
         Callers hold the read lock, so mutations are excluded while a
-        build runs; the build itself happens off to the side under a
-        dedicated mutex and the finished gallery is swapped in with one
-        attribute assignment (build-then-swap), so concurrent readers
-        only ever observe ``None`` or a fully constructed stack — and
-        racing readers never build the same gallery twice.
+        build runs; the build happens off to the side under a dedicated
+        mutex and is swapped in with one attribute assignment, so
+        racing readers never observe a half-enqueued gallery or build
+        the same one twice.
         """
         gallery = self._gallery
         if gallery is not None:
             return gallery
-        if not self._transforms:
-            return None
         with self._gallery_build_lock:
             gallery = self._gallery
             if gallery is None:
-                faults.maybe_fail("gallery.build")
-                user_ids = list(self._transforms)
-                gallery = TemplateGallery(
-                    user_ids=user_ids,
-                    matrices=[self._transforms[uid].matrix for uid in user_ids],
-                    templates=[
-                        np.asarray(self.enclave.unseal(uid).template)
-                        for uid in user_ids
-                    ],
-                )
+                gallery = ShardedGallery(self.config.gallery)
+                for uid, transform in self._transforms.items():
+                    gallery.upsert(
+                        uid,
+                        transform.matrix,
+                        np.asarray(self.enclave.unseal(uid).template),
+                    )
                 self._gallery = gallery
         return gallery
+
+    def warm_gallery(self) -> None:
+        """Build and sync the 1:N gallery ahead of the first identify.
+
+        Serving calls this at startup so the first identification pays
+        scoring cost only.  Raises :class:`~repro.errors.TransientError`
+        subclasses when an injected build fault fires; the gallery
+        retries at the next sync.
+        """
+        with self._rwlock.read_locked():
+            if not self._transforms:
+                return
+            self._current_gallery().sync()
+
+    def reset_gallery(self) -> None:
+        """Drop all derived 1:N state; the next identify rebuilds it."""
+        with self._rwlock.write_locked():
+            self._gallery = None
 
     def identify(self, recording: RawRecording) -> VerificationResult | None:
         """1:N identification: find the closest enrolled user.
@@ -239,43 +289,46 @@ class MandiPass:
         """1:N identification for a batch of recordings.
 
         The batch runs once through the vectorised inference engine and
-        each surviving probe is scored against *all* enrolled users in
-        a single gallery pass — one matmul for the stacked Gaussian
-        projections, one einsum for the cosines — instead of a per-user
-        Python loop.  Returns one entry per recording in input order;
-        ``None`` marks a recording with no usable vibration (or an
-        empty enrolled set), exactly as :meth:`identify` reports it.
+        each surviving probe goes through the sharded gallery's
+        prescreen + exact-rerank cascade (DESIGN.md §4h): a rank-r
+        projection lower-bounds every user's distance, and only the
+        candidates whose bound could win are scored exactly — with the
+        per-user loop's own operations, so the decision is bitwise what
+        the loop would return, at sub-linear cost.  Returns one entry
+        per recording in input order; ``None`` marks a recording with
+        no usable vibration (or an empty enrolled set), exactly as
+        :meth:`identify` reports it.
         """
         with self._rwlock.read_locked(), obs.span("identify"):
             obs.observe_batch_size("identify_many", len(recordings))
+            results: list[VerificationResult | None] = [None] * len(recordings)
+            if not self._transforms or not recordings:
+                return results
             try:
                 gallery = self._current_gallery()
+                gallery.sync()
             except TransientError:
                 # Graceful degradation (DESIGN.md §4g): a transient
-                # gallery-build failure falls back to per-user scoring —
+                # shard-build failure falls back to per-user scoring —
                 # slower, no derived state — instead of failing the
-                # whole identification batch.
-                if not self._transforms or not recordings:
-                    return [None] * len(recordings)
+                # whole identification batch.  Unapplied mutations stay
+                # logged; the next sync retries them.
                 return self._identify_fallback(recordings)
-            results: list[VerificationResult | None] = [None] * len(recordings)
-            if gallery is None or not recordings:
-                return results
             outcome = self.engine.embed(recordings)
             if outcome.num_ok == 0:
                 return results
             degraded = set(int(i) for i in outcome.degraded)
-            distances = gallery.distances_batch(outcome.values)
-            best = np.argmin(distances, axis=1)
+            matches = gallery.best_match(outcome.values)
             threshold = self.config.decision.threshold
             for row, input_index in enumerate(np.asarray(outcome.indices)):
-                column = int(best[row])
-                distance = float(distances[row, column])
+                match = matches[row]
+                if match is None:
+                    continue
                 results[int(input_index)] = VerificationResult(
-                    accepted=accept(distance, threshold),
-                    distance=distance,
+                    accepted=accept(match.distance, threshold),
+                    distance=match.distance,
                     threshold=threshold,
-                    user_id=gallery.user_ids[column],
+                    user_id=match.user_id,
                     degraded=int(input_index) in degraded,
                 )
             if obs.get_registry().enabled:
@@ -373,7 +426,7 @@ class MandiPass:
                 return False
             updated = (1.0 - rate) * template + rate * probe
             self.enclave.seal(user_id, updated, transform.seed)
-            self._gallery = None
+            self._gallery_mutation("upsert", user_id, transform, updated)
             return True
 
     def stored_template(self, user_id: str) -> np.ndarray:
@@ -386,7 +439,7 @@ class MandiPass:
         with self._rwlock.write_locked():
             self.enclave.revoke(user_id)
             self._transforms.pop(user_id, None)
-            self._gallery = None
+            self._gallery_mutation("remove", user_id)
             obs.set_gauge("enrolled_users", len(self._transforms))
 
     def renew(

@@ -45,6 +45,8 @@ RULE_TEMPLATES: tuple[FaultRule, ...] = (
         "engine.extractor", "delay", probability=0.3, max_fires=4, delay_s=0.002
     ),
     FaultRule("gallery.build", "error", probability=1.0, max_fires=2),
+    FaultRule("gallery.shard_build", "error", probability=0.5, max_fires=3),
+    FaultRule("gallery.compact", "error", probability=0.5, max_fires=2),
     FaultRule("serve.queue", "reject", probability=0.3, max_fires=5),
     FaultRule("serve.worker", "kill", probability=0.4, max_fires=2),
     FaultRule(
@@ -128,20 +130,29 @@ def run_schedule(
     serving_config=None,
     resilience=None,
     result_timeout_s: float = 30.0,
+    churn: bool = True,
 ) -> ChaosReport:
     """Drive one seeded chaos schedule through a live server.
 
     The workload mixes genuine verify probes, zero-effort silent probes
     (the only requests whose accept would be *wrong* — an untrained
     bench extractor makes real impostor decisions meaningless) and
-    periodic identify requests (which exercise the gallery-build fault
-    point), some carrying queueing deadlines.  The mix is a fixed
+    periodic identify requests (which exercise the gallery fault
+    points), some carrying queueing deadlines.  The mix is a fixed
     function of the request index, so the schedule is reproducible.
+
+    With ``churn`` on, two extra users are enrolled before the baseline
+    and revoked / re-enrolled *inside* the fault window, concurrently
+    with the in-flight server requests — so shard mutations, tombstone
+    compaction and a full gallery reset all run under fire.  Churn
+    failures (an injected fault can abort an enrollment) are
+    tolerated: the invariants below hold regardless.
 
     The pre-chaos baseline and post-chaos recovery check both call
     ``verify_many`` directly (no server, no plan); recovery demands
     bitwise-equal distances.
     """
+    from repro.errors import EnrollmentError, SignalError, TransientError
     from repro.serve.server import AuthServer, RequestStatus
 
     silent = np.zeros_like(np.asarray(probes[0], dtype=np.float64))
@@ -156,11 +167,22 @@ def run_schedule(
         requests.append((kind, recording, genuine, timeout_ms))
     recordings = [recording for _, recording, _, _ in requests]
 
+    churn_users: list[str] = []
+    churn_recordings = [probes[i % len(probes)] for i in range(3)]
+    if churn:
+        # Enrolled fault-free, *before* the baseline: their mid-window
+        # revoke / re-enroll churn drives shard mutations and tombstone
+        # compaction without touching ``user_id``'s template, so the
+        # recovery-parity invariant is unaffected.
+        for offset, name in enumerate(("chaos-churn-a", "chaos-churn-b")):
+            system.enroll(name, churn_recordings, transform_seed=101 + offset)
+            churn_users.append(name)
+
     baseline = system.verify_many(user_id, recordings)
-    # Drop the derived 1:N cache (it rebuilds lazily) so the
+    # Drop the derived 1:N state (it rebuilds lazily) so the
     # gallery.build fault point is reachable in every schedule, not
     # just the first one run against a shared system.
-    system._gallery = None
+    system.reset_gallery()
 
     statuses: dict[str, int] = {}
     false_accepts = 0
@@ -181,6 +203,23 @@ def run_schedule(
                     futures.append(
                         server.verify(user_id, recording, timeout_ms=timeout_ms)
                     )
+            # Mutate the enrolled set while the submitted requests are
+            # still in flight: tombstones (revoke), re-appends
+            # (re-enroll) and one full reset race the workers' scoring
+            # under the active fault plan.  Any injected fault may
+            # abort an individual churn step; that is part of the
+            # exercise.
+            for index, name in enumerate(churn_users):
+                try:
+                    if system.is_enrolled(name):
+                        system.revoke(name)
+                    if index == 0:
+                        system.reset_gallery()
+                    system.enroll(
+                        name, churn_recordings, transform_seed=201 + index
+                    )
+                except (EnrollmentError, SignalError, TransientError):
+                    pass
             for future, (_, _, genuine, _) in zip(futures, requests):
                 if not future.wait(result_timeout_s):
                     unresolved += 1
@@ -225,11 +264,17 @@ def run_campaign(
     benchmarks (:func:`repro.serve.loadgen.build_bench_system`) once,
     then replays a fresh random plan per seed against it — the recovery
     invariant doubles as the proof that schedules cannot contaminate
-    each other.
+    each other.  Gallery shards are shrunk to two slots so the churn
+    mutations actually cross the compaction threshold mid-schedule.
     """
+    from repro.config import GalleryConfig
     from repro.serve.loadgen import build_bench_system
 
-    system, user_id, probes = build_bench_system(dtype=dtype, num_probes=8)
+    system, user_id, probes = build_bench_system(
+        dtype=dtype,
+        num_probes=8,
+        gallery=GalleryConfig(shard_size=2, compact_tombstone_ratio=0.4),
+    )
     return [
         run_schedule(
             system,

@@ -18,7 +18,15 @@ imu                 dropout / nan / clip  corrupt recordings entering the
 engine.preprocess   error / delay         Section IV pipeline stage
 engine.frontend     error / delay         direction-splitting transform
 engine.extractor    error / delay         CNN forward
-gallery.build       error                 1:N gallery construction
+gallery.build       error                 1:N gallery sync entry (fires
+                                          when mutations are pending)
+gallery.shard_build error / delay         one row-level shard mutation
+                                          (applied-or-untouched; the
+                                          entry stays logged for retry)
+gallery.compact     error / delay         tombstone compaction of one
+                                          shard (contained: deferred
+                                          and retried, never fails an
+                                          identification)
 serve.queue         reject                admission queue reports full
 serve.worker        kill / delay / error  worker death / stall / failure
 ==================  ====================  ===============================

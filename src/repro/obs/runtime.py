@@ -30,6 +30,26 @@ enrolled_users            gauge      --
 gallery_users             gauge      --
 ========================  =========  =======================================
 
+The sharded gallery (:mod:`repro.core.gallery.sharded`, DESIGN.md §4h)
+adds:
+
+================================  =========  =============================
+name                              kind       labels
+================================  =========  =============================
+gallery_shards                    gauge      --  (occupied shard blocks)
+gallery_tombstones                gauge      --  (revoked-but-unreclaimed
+                                                 rows)
+gallery_mutations_total           counter    ``kind``: upsert, remove
+gallery_compactions_total         counter    --  (shards rebuilt
+                                                 tombstone-free)
+gallery_compaction_failures_total counter    --  (contained + deferred)
+gallery_rerank_pool               histogram  --  (exact-stage candidates
+                                                 per probe)
+================================  =========  =============================
+
+plus ``gallery_sync`` / ``gallery_prescreen`` / ``gallery_rerank`` /
+``gallery_compact`` stages in ``stage_latency_seconds``.
+
 The serving layer (:mod:`repro.serve`, DESIGN.md §4f) adds:
 
 ========================  =========  =======================================

@@ -86,12 +86,18 @@ def build_bench_system(
     dtype: str = "float32",
     serving: ServingConfig | None = None,
     num_probes: int = 32,
+    gallery=None,
 ) -> tuple:
     """(system, user_id, probe pool) for serving benchmarks.
+
+    ``gallery`` (a :class:`~repro.config.GalleryConfig`) lets chaos
+    campaigns shrink shards so tombstone compaction actually triggers
+    within a short schedule.
 
     Heavy imports stay inside the function so ``repro.serve`` never
     drags the physiological substrate in at import time.
     """
+    from repro.config import GalleryConfig
     from repro.core.extractor import TwoBranchExtractor
     from repro.core.system import MandiPass
     from repro.imu import Recorder
@@ -103,6 +109,7 @@ def build_bench_system(
         security=SecurityConfig(template_dim=64, projected_dim=64, matrix_seed=1),
         inference=InferenceConfig(compute_dtype=dtype),
         serving=serving if serving is not None else ServingConfig(),
+        gallery=gallery if gallery is not None else GalleryConfig(),
     )
     model = TwoBranchExtractor(extractor_config, num_classes=4, seed=0).eval()
     system = MandiPass(model, config=config)

@@ -223,13 +223,24 @@ class AuthServer:
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "AuthServer":
-        """Spawn the worker threads (idempotent until stopped)."""
+        """Spawn the worker threads (idempotent until stopped).
+
+        Also pre-builds the 1:N gallery (``warm_gallery_on_start``), so
+        the first identify request pays scoring cost only; a transient
+        build fault is swallowed here — identification lazily retries
+        and degrades to per-user scoring until the build succeeds.
+        """
         with self._state_lock:
             if self._stopped:
                 raise ServingError("AuthServer cannot restart after stop()")
             if self._started:
                 return self
             self._started = True
+            if self.config.warm_gallery_on_start:
+                try:
+                    self.system.warm_gallery()
+                except TransientError:
+                    obs.inc("degraded_total", path="gallery_warmup")
             for index in range(self.config.num_workers):
                 worker = threading.Thread(
                     target=self._worker_loop,

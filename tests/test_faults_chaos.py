@@ -27,7 +27,7 @@ import numpy as np
 import pytest
 
 from repro import obs
-from repro.config import ResilienceConfig, ServingConfig
+from repro.config import GalleryConfig, ResilienceConfig, ServingConfig
 from repro.core.engine import BatchOutcome, InferenceEngine
 from repro.core.verification import REJECTED_DISTANCE
 from repro.errors import (
@@ -98,10 +98,18 @@ def _no_plan_leaks():
 
 @pytest.fixture(scope="module")
 def bench():
-    """(system, user_id, probes): untrained but real serving substrate."""
+    """(system, user_id, probes): untrained but real serving substrate.
+
+    Two-slot gallery shards so the chaos schedules' churn mutations
+    actually cross the compaction threshold mid-window.
+    """
     from repro.serve.loadgen import build_bench_system
 
-    return build_bench_system(dtype="float32", num_probes=8)
+    return build_bench_system(
+        dtype="float32",
+        num_probes=8,
+        gallery=GalleryConfig(shard_size=2, compact_tombstone_ratio=0.4),
+    )
 
 
 # -- FaultRule / FaultPlan units ------------------------------------------
@@ -477,6 +485,75 @@ class TestGalleryFallback:
             assert np.isclose(fallback.distance, direct.distance)
 
 
+@pytest.fixture(scope="module")
+def gallery_bench():
+    """A dedicated small-shard system for the shard-fault tests, so their
+    enrollments never perturb the shared ``bench`` substrate."""
+    from repro.serve.loadgen import build_bench_system
+
+    return build_bench_system(
+        dtype="float32",
+        num_probes=6,
+        gallery=GalleryConfig(shard_size=2, compact_tombstone_ratio=0.4),
+    )
+
+
+class TestGalleryShardFaults:
+    def test_shard_build_fault_degrades_then_retries(self, gallery_bench):
+        """A faulted shard mutation falls back this identify, applies next.
+
+        The mutation-log contract: the entry is popped only after a
+        successful apply, so an injected ``gallery.shard_build`` error
+        leaves it queued (exactly-once application, at-least-once
+        attempts) and the very next sync lands it.
+        """
+        system, user_id, probes = gallery_bench
+        system.reset_gallery()
+        clean = system.identify_many(probes[:1])
+        assert not clean[0].degraded
+        system.enroll("gfault-a", list(probes[:3]), transform_seed=501)
+        assert system._gallery.pending == 1
+        rule = FaultRule("gallery.shard_build", "error", max_fires=1)
+        with FaultPlan([rule], seed=0).active():
+            degraded = system.identify_many(probes[:1])
+            assert degraded[0] is not None and degraded[0].degraded
+            assert system._gallery.pending == 1  # still queued for retry
+            retried = system.identify_many(probes[:1])
+            assert not retried[0].degraded
+            assert system._gallery.pending == 0
+        assert "gfault-a" in system._gallery.users()
+
+    def test_compaction_fault_is_contained_and_retried(self, gallery_bench):
+        """A faulted compaction never fails identify — it defers.
+
+        Tombstones are correct, merely unreclaimed: the identification
+        is served full-quality under the active plan, the failure is
+        counted, and the next sync compacts the shard for real.
+        """
+        system, user_id, probes = gallery_bench
+        system.enroll("gfault-c1", list(probes[:3]), transform_seed=502)
+        system.enroll("gfault-c2", list(probes[:3]), transform_seed=503)
+        system.reset_gallery()
+        system.identify_many(probes[:1])  # clean build
+        gallery = system._gallery
+        system.revoke("gfault-c2")
+        # identify syncs twice (once explicitly, once inside best_match);
+        # a two-fire budget keeps the compaction deferred through both.
+        rule = FaultRule("gallery.compact", "error", max_fires=2)
+        with obs.collecting() as registry:
+            with FaultPlan([rule], seed=0).active():
+                results = system.identify_many(probes[:1])
+        assert results[0] is not None and not results[0].degraded
+        assert (
+            registry.counter("gallery_compaction_failures_total").value == 2
+        )
+        assert any(shard.tombstones for shard in gallery._shards)
+        assert "gfault-c2" not in gallery.users()
+        system.identify_many(probes[:1])  # plan gone: deferred compaction runs
+        assert gallery.compactions >= 1
+        assert all(shard.tombstones == 0 for shard in gallery._shards)
+
+
 # -- server-side resilience ------------------------------------------------
 
 
@@ -600,6 +677,8 @@ class TestChaosSchedules:
             "engine.frontend",
             "engine.extractor",
             "gallery.build",
+            "gallery.shard_build",
+            "gallery.compact",
             "serve.queue",
             "serve.worker",
         }
