@@ -198,6 +198,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import serving_benchmark
 
+    processes = (
+        [int(p) for p in args.processes.split(",")] if args.processes else None
+    )
     report = serving_benchmark(
         quick=args.quick,
         dtype=args.dtype,
@@ -205,27 +208,48 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         max_wait_ms=args.wait_ms,
         num_clients=args.clients,
         requests_per_client=args.requests,
+        process_counts=processes,
         output=args.output,
     )
-    seq = report["sequential"]
-    closed = report["closed_loop"]
-    idle = report["idle"]
-    overload = report["open_loop"]
+    machine = report["machine"]
+    baseline = report["baseline"]
+    seq = baseline["sequential"]
+    closed = baseline["closed_loop"]
+    idle = baseline["idle"]
+    overload = baseline["open_loop"]
+    arrivals = report["arrivals"]
     print(f"serving benchmark ({'quick' if args.quick else 'full'} mode, "
           f"{report['config']['dtype']}, batch<= {args.batch_size}, "
           f"wait {args.wait_ms} ms)")
+    print(f"  machine    : {machine['usable_cpus']}/{machine['cpu_count']} "
+          f"cpus usable, start method {machine['start_method']}, "
+          f"python {machine['python']}")
     print(f"  sequential : {seq['throughput_rps']:8.1f} req/s "
           f"({seq['completed']} requests, p50 {seq['p50_ms']:.1f} ms)")
     print(f"  closed loop: {closed['throughput_rps']:8.1f} req/s "
           f"({closed['completed']} requests, p50 {closed['p50_ms']:.1f} ms, "
           f"p99 {closed['p99_ms']:.1f} ms, "
           f"occupancy {closed['mean_batch_occupancy']:.1f})")
-    print(f"  speedup    : {report['speedup_vs_sequential']:8.1f}x vs sequential")
+    print(f"  speedup    : {baseline['speedup_vs_sequential']:8.1f}x "
+          f"vs sequential")
     print(f"  idle p99   : {idle['p99_ms']:8.1f} ms "
           f"(policy bound {idle['bound_ms']:.1f} ms)")
     print(f"  overload   : {overload['completed']} served, "
           f"{overload['expired']} shed, {overload['rejected']} rejected "
           f"at {overload['offered_rps']:.0f} req/s offered")
+    for name in ("poisson", "diurnal"):
+        trace = arrivals[name]
+        print(f"  {name:<11}: {trace['completed']} served, "
+              f"{trace['expired']} shed, {trace['rejected']} rejected "
+              f"(p99 {trace['p99_ms']:.1f} ms, "
+              f"{arrivals['processes']} processes)")
+    print("  worker sweep (pipeline-bound, "
+          f"batch<= {report['worker_sweep']['config']['max_batch_size']}):")
+    for row in report["worker_sweep"]["rows"]:
+        label = ("threads" if row["mode"] == "threads"
+                 else f"{row['processes']} proc")
+        print(f"    {label:>8}: {row['throughput_rps']:8.1f} req/s "
+              f"({row['speedup_vs_threads']:.2f}x vs threads)")
     if args.output:
         print(f"# report written to {args.output}", file=sys.stderr)
     return 0
@@ -364,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--wait-ms", type=float, default=4.0)
     serve_bench.add_argument(
         "--dtype", choices=("float32", "float64"), default="float32"
+    )
+    serve_bench.add_argument(
+        "--processes", default=None,
+        help="comma-separated worker-process counts for the sweep "
+             "(default: 1,2 quick / 1,2,4 full)",
     )
     serve_bench.add_argument(
         "--output", default="BENCH_serving.json",

@@ -269,6 +269,22 @@ class ServingConfig:
             request does not pay the shard builds for the whole
             enrolled backlog.  Best-effort: a transient warm-up
             failure falls back to the lazy per-request sync.
+        num_worker_processes: size of the multi-process worker pool
+            (DESIGN.md §4i).  0 (default) keeps the in-process thread
+            pool; N > 0 spawns N worker processes, each running the
+            full pipeline against shared-memory epochs, with one
+            dispatcher thread per process (``num_workers`` is then
+            ignored).  Escapes the GIL: thread workers only overlap
+            inside BLAS, process workers overlap everywhere.
+        mp_start_method: multiprocessing start method for the pool.
+            ``"spawn"`` (default) is portable and inherits no parent
+            locks; ``"fork"``/``"forkserver"`` start faster on Linux.
+        epoch_min_publish_interval_ms: floor on the time between two
+            shared-memory epoch publishes.  0 (default) publishes on
+            every observed template-version change; a positive value
+            coalesces mutation bursts — workers serve the previous
+            epoch (still internally consistent) until the interval
+            elapses.
     """
 
     max_batch_size: int = 64
@@ -277,6 +293,9 @@ class ServingConfig:
     num_workers: int = 1
     drain_timeout_s: float = 30.0
     warm_gallery_on_start: bool = True
+    num_worker_processes: int = 0
+    mp_start_method: str = "spawn"
+    epoch_min_publish_interval_ms: float = 0.0
 
     def __post_init__(self) -> None:
         _require(self.max_batch_size > 0, "max_batch_size must be positive")
@@ -284,6 +303,18 @@ class ServingConfig:
         _require(self.queue_capacity > 0, "queue_capacity must be positive")
         _require(self.num_workers > 0, "num_workers must be positive")
         _require(self.drain_timeout_s > 0, "drain_timeout_s must be positive")
+        _require(
+            self.num_worker_processes >= 0,
+            "num_worker_processes must be non-negative",
+        )
+        _require(
+            self.mp_start_method in ("spawn", "fork", "forkserver"),
+            "mp_start_method must be one of 'spawn', 'fork', 'forkserver'",
+        )
+        _require(
+            self.epoch_min_publish_interval_ms >= 0.0,
+            "epoch_min_publish_interval_ms must be non-negative",
+        )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -67,6 +67,57 @@ class GalleryShard:
         self._templates: list[np.ndarray | None] = [None] * capacity
         self.count = 0  # occupied slots, tombstones included
 
+    @classmethod
+    def adopt(
+        cls,
+        *,
+        user_ids: list[str | None],
+        prescreen: np.ndarray,
+        numer: np.ndarray,
+        tail: np.ndarray,
+        seq: np.ndarray,
+        alive: np.ndarray,
+        matrices: np.ndarray,
+        templates: np.ndarray,
+        rank: int,
+    ) -> "GalleryShard":
+        """Build a read-only shard around externally-owned arrays.
+
+        Zero-copy constructor for worker processes adopting a published
+        epoch (:mod:`repro.serve.shm`): the scoring blocks reference the
+        caller's (typically shared-memory, read-only) arrays directly.
+        ``capacity == count``, so the shard is full by construction and
+        must never be mutated — ``sync`` is never called on an adopted
+        gallery, the parent publishes a fresh epoch instead.
+        """
+        count = len(user_ids)
+        in_dim, out_dim = int(matrices.shape[1]), int(matrices.shape[2])
+        shard = cls.__new__(cls)
+        shard.capacity = count
+        shard.in_dim = in_dim
+        shard.out_dim = out_dim
+        shard.rank = min(rank, out_dim)
+        shard.prescreen_dtype = prescreen.dtype
+        if prescreen.shape != (in_dim, count * shard.rank):
+            raise ShapeError(
+                f"adopted prescreen must be ({in_dim}, {count * shard.rank}),"
+                f" got {prescreen.shape}"
+            )
+        shard._prescreen = prescreen
+        shard._numer = numer
+        shard._tail = tail
+        shard.user_ids = list(user_ids)
+        shard.seq = seq
+        shard.alive = alive
+        shard._matrices = [
+            matrices[slot] if alive[slot] else None for slot in range(count)
+        ]
+        shard._templates = [
+            templates[slot] if alive[slot] else None for slot in range(count)
+        ]
+        shard.count = count
+        return shard
+
     # -- occupancy ------------------------------------------------------
 
     @property

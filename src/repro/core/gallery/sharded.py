@@ -295,6 +295,124 @@ class ShardedGallery:
             "resident_nbytes": sum(shard.nbytes() for shard in self._shards),
         }
 
+    # -- epoch export / import (multi-process serving) ------------------
+
+    def export_epoch(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Snapshot the resident scoring state as flat picklable parts.
+
+        Returns ``(arrays, meta)``: a dict of contiguous numpy arrays
+        (per-shard prescreen/numerator/tail/seq/alive blocks plus the
+        stacked resolved matrices and templates the rerank stage needs)
+        and a plain-dict ``meta`` describing shapes, user ids and
+        counters.  :meth:`from_epoch` rebuilds a scoring-equivalent
+        gallery from them — the pair is the serialization seam the
+        multi-process pool publishes through shared memory
+        (:mod:`repro.serve.shm`).
+
+        The caller must :meth:`sync` first; exporting with pending
+        mutations would silently publish a stale epoch, so it raises.
+        """
+        if self.pending:
+            raise ShapeError(
+                f"cannot export an epoch with {self.pending} pending "
+                "mutations; sync() first"
+            )
+        with self._lock.read_locked():
+            arrays: dict[str, np.ndarray] = {}
+            shards_meta: list[dict] = []
+            for shard in self._shards:
+                count = shard.count
+                if count == 0:
+                    continue
+                key = f"shard{len(shards_meta)}"
+                arrays[f"{key}.prescreen"] = shard.prescreen_block()
+                arrays[f"{key}.numer"] = shard.numer_block()
+                arrays[f"{key}.tail"] = shard.tail_block()
+                arrays[f"{key}.seq"] = shard.seq_block()
+                arrays[f"{key}.alive"] = shard.alive_block()
+                matrices = np.zeros((count, self.in_dim, self.out_dim))
+                templates = np.zeros((count, self.out_dim))
+                for slot in range(count):
+                    if shard.alive[slot]:
+                        matrices[slot] = shard.matrix_for(slot)
+                        templates[slot] = shard.template_for(slot)
+                arrays[f"{key}.matrices"] = matrices
+                arrays[f"{key}.templates"] = templates
+                shards_meta.append(
+                    {
+                        "count": count,
+                        "rank": shard.rank,
+                        "user_ids": list(shard.user_ids[:count]),
+                    }
+                )
+            meta = {
+                "shards": shards_meta,
+                "in_dim": self.in_dim,
+                "out_dim": self.out_dim,
+                "seq": self._seq,
+                "alive": self._alive_count,
+                "tombstones": self._tombstone_count,
+            }
+            return arrays, meta
+
+    @classmethod
+    def from_epoch(
+        cls,
+        config: GalleryConfig | None,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+    ) -> "ShardedGallery":
+        """Rebuild a read-only scoring gallery from an exported epoch.
+
+        The shard blocks reference ``arrays`` directly (zero-copy when
+        they are shared-memory views).  The result is for scoring only:
+        it must never be mutated — the publishing parent owns the
+        mutation log and ships a fresh epoch instead.
+        """
+        gallery = cls(config)
+        gallery.in_dim = meta["in_dim"]
+        gallery.out_dim = meta["out_dim"]
+        for index, shard_meta in enumerate(meta["shards"]):
+            key = f"shard{index}"
+            alive = arrays[f"{key}.alive"]
+            shard = GalleryShard.adopt(
+                user_ids=shard_meta["user_ids"],
+                prescreen=arrays[f"{key}.prescreen"],
+                numer=arrays[f"{key}.numer"],
+                tail=arrays[f"{key}.tail"],
+                seq=arrays[f"{key}.seq"],
+                alive=alive,
+                matrices=arrays[f"{key}.matrices"],
+                templates=arrays[f"{key}.templates"],
+                rank=shard_meta["rank"],
+            )
+            gallery._shards.append(shard)
+            for slot, user_id in enumerate(shard.user_ids):
+                if alive[slot]:
+                    gallery._index[user_id] = (index, slot)
+        gallery._seq = meta["seq"]
+        gallery._alive_count = meta["alive"]
+        gallery._tombstone_count = meta["tombstones"]
+        return gallery
+
+    def row(self, user_id: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """The resolved ``(matrix, template)`` pair for one alive user.
+
+        Verification-side lookup for worker replicas: the 1:1 path
+        needs exactly what the rerank stage holds.  Returns ``None``
+        when the user is absent or tombstoned.
+        """
+        self.sync()
+        with self._lock.read_locked():
+            location = self._index.get(user_id)
+            if location is None:
+                return None
+            shard_index, slot = location
+            shard = self._shards[shard_index]
+            if not shard.alive[slot]:
+                return None
+            return shard.matrix_for(slot), shard.template_for(slot)
+
     # -- scoring side ---------------------------------------------------
 
     def best_match(self, embeddings: np.ndarray) -> list[GalleryMatch | None]:

@@ -80,6 +80,11 @@ class MandiPass:
         # applied incrementally at the next sync — never an O(U)
         # rebuild.
         self._gallery: ShardedGallery | None = None
+        # Monotone template-state version: bumped by every enrollment
+        # mutation (enroll / revoke / renew / adapt_template).  The
+        # multi-process pool compares it against its last published
+        # epoch to decide when a new shared-memory publish is due.
+        self._template_version = 0
         # Concurrency contract (DESIGN.md §4f): scoring entry points
         # (verify_many / identify_many / verify_presented) take the
         # read side and may run concurrently from serving workers;
@@ -211,6 +216,7 @@ class MandiPass:
         :meth:`_current_gallery` rebuild reads the post-mutation state
         from the enclave, so there is nothing to log.
         """
+        self._template_version += 1
         gallery = self._gallery
         if gallery is None:
             return
@@ -264,6 +270,43 @@ class MandiPass:
             if not self._transforms:
                 return
             self._current_gallery().sync()
+
+    @property
+    def template_version(self) -> int:
+        """Monotone counter of enrollment mutations (epoch staleness key)."""
+        return self._template_version
+
+    def export_epoch(self) -> tuple[int, dict, dict]:
+        """Snapshot ``(version, arrays, meta)`` of the 1:N scoring state.
+
+        The serialization seam of the multi-process serving pool
+        (DESIGN.md §4i): the parent publishes ``arrays`` into shared
+        memory and workers rebuild a scoring-equivalent gallery with
+        :meth:`ShardedGallery.from_epoch
+        <repro.core.gallery.sharded.ShardedGallery.from_epoch>`.  Runs
+        under the read lock, so the version and the exported state are
+        mutually consistent — a concurrent enroll either lands entirely
+        before this snapshot (and is included, version bumped) or
+        entirely after (and triggers the next publish).
+
+        Raises :class:`~repro.errors.TransientError` subclasses when an
+        injected gallery-build fault fires; the caller retries.
+        """
+        with self._rwlock.read_locked():
+            version = self._template_version
+            if not self._transforms:
+                return version, {}, {
+                    "shards": [],
+                    "in_dim": None,
+                    "out_dim": None,
+                    "seq": 0,
+                    "alive": 0,
+                    "tombstones": 0,
+                }
+            gallery = self._current_gallery()
+            gallery.sync()
+            arrays, meta = gallery.export_epoch()
+            return version, arrays, meta
 
     def reset_gallery(self) -> None:
         """Drop all derived 1:N state; the next identify rebuilds it."""

@@ -33,6 +33,15 @@ serve.worker        kill / delay / error  worker death / stall / failure
 
 Fires are counted into the ``fault_injected_total{point,kind}`` metric
 family when collection is on.
+
+Plans are installed per process.  In multi-process serving
+(``num_worker_processes > 0``) only the *parent-side* points fire:
+``serve.queue`` and ``serve.worker`` hook the dispatcher (a
+``serve.worker`` kill there terminates the real worker process), and
+``gallery.*`` fire inside the parent's mutation/publish path.  The
+engine-stage points (``engine.*``, ``imu``) run inside worker
+processes, which never install a plan — inject those in-process
+(thread mode) where the engine actually executes under the plan.
 """
 
 from __future__ import annotations

@@ -159,6 +159,55 @@ class Module:
         """Restore arrays saved by :meth:`state_dict` (strict shapes)."""
         self._restore_state(state, prefix="")
 
+    def adopt_state(self, state: dict[str, np.ndarray]) -> None:
+        """Reference arrays saved by :meth:`state_dict` without copying.
+
+        The zero-copy sibling of :meth:`load_state`, for serving worker
+        processes that map model parameters out of a shared-memory
+        segment (:mod:`repro.serve.shm`): the adopted (typically
+        read-only) arrays become the parameter/buffer storage directly,
+        so N workers share one physical copy.  Eval-mode use only — a
+        training step would write through the mapping.  Arrays must
+        already be float64 (what :meth:`state_dict` emits), so the
+        referenced bytes are bitwise what the source model holds and
+        per-dtype eval caches derive identically.
+        """
+        self._adopt_state(state, prefix="")
+
+    def _adopt_state(self, state: dict[str, np.ndarray], prefix: str) -> None:
+        self._eval_cache = {}
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                if key not in state:
+                    raise ModelError(f"missing parameter {key!r} in state dict")
+                saved = state[key]
+                if saved.shape != value.data.shape:
+                    raise ModelError(
+                        f"shape mismatch for {key!r}: saved {saved.shape}, "
+                        f"expected {value.data.shape}"
+                    )
+                if saved.dtype != np.float64:
+                    raise ModelError(
+                        f"adopt_state requires float64 arrays, got "
+                        f"{saved.dtype} for {key!r}"
+                    )
+                value.data = saved
+            elif isinstance(value, np.ndarray) and name.startswith("running_"):
+                if key not in state:
+                    raise ModelError(f"missing buffer {key!r} in state dict")
+                saved = state[key]
+                if saved.shape != value.shape:
+                    raise ModelError(f"shape mismatch for buffer {key!r}")
+                if saved.dtype != np.float64:
+                    raise ModelError(
+                        f"adopt_state requires float64 arrays, got "
+                        f"{saved.dtype} for buffer {key!r}"
+                    )
+                setattr(self, name, saved)
+        for idx, child in enumerate(self.children()):
+            child._adopt_state(state, prefix=f"{prefix}c{idx}.")
+
     def _restore_state(self, state: dict[str, np.ndarray], prefix: str) -> None:
         self._eval_cache = {}
         for name, value in self.__dict__.items():

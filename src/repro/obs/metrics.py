@@ -294,6 +294,63 @@ class MetricsRegistry:
                 yield f"{name}_count{_label_suffix(h.labels)} {h.count}\n"
 
 
+def merge_snapshots(snapshots: "list[dict]") -> dict:
+    """Aggregate :meth:`MetricsRegistry.to_dict` snapshots into one.
+
+    The parent-side view over multi-process serving workers: each
+    worker ships its *cumulative* registry snapshot with every batch
+    reply, the parent keeps only the latest per (process, spawn
+    generation), and this function folds those latest snapshots
+    together.  Because inputs are cumulative and keyed per process,
+    merging is idempotent in the snapshots — re-merging the same set
+    yields the same result, so a re-delivered snapshot can never
+    double-count (the obs invariant DESIGN.md §4i calls out).
+
+    Semantics per instrument kind: counters and histogram buckets /
+    sums / counts add across processes; gauges take the maximum (they
+    describe level state like mapped epoch generation or gallery size,
+    where the freshest worker dominates and summing would be
+    meaningless).
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for key, value in snapshot.get("counters", {}).items():
+            counters[key] = counters.get(key, 0.0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            gauges[key] = max(gauges.get(key, float("-inf")), value)
+        for key, hist in snapshot.get("histograms", {}).items():
+            merged = histograms.get(key)
+            if merged is None:
+                histograms[key] = {
+                    "buckets": [list(pair) for pair in hist["buckets"]],
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+                continue
+            # One series name always uses one fixed bucket layout (the
+            # module-level bucket constants), so cross-process merges
+            # add counts positionally.
+            if [u for u, _ in merged["buckets"]] != [
+                u for u, _ in hist["buckets"]
+            ]:
+                raise ValueError(
+                    f"bucket layout mismatch while merging {key!r}"
+                )
+            for pair, (_, count) in zip(merged["buckets"], hist["buckets"]):
+                pair[1] += count
+            merged["sum"] += hist["sum"]
+            merged["count"] += hist["count"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
 def _fmt(value: float) -> str:
     return repr(int(value)) if float(value).is_integer() else repr(float(value))
 

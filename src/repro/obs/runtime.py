@@ -64,6 +64,28 @@ serve_rejected_total      counter    --  (admission control)
 serve_shed_total          counter    --  (deadline expired while queued)
 ========================  =========  =======================================
 
+The multi-process worker pool (:mod:`repro.serve.pool`, DESIGN.md §4i)
+adds — gauges live in the *parent*; worker-process registries are
+shipped back per reply and merged idempotently per (process, spawn
+generation) via :func:`repro.obs.metrics.merge_snapshots`:
+
+=============================  =========  ================================
+name                           kind       labels
+=============================  =========  ================================
+serve_worker_processes         gauge      --  (configured pool width;
+                                              0 after ``stop()``)
+serve_worker_alive             gauge      --  (currently-live processes)
+serve_worker_epoch_generation  gauge      --  (latest published epoch)
+serve_worker_generation        gauge      ``process``  (epoch each
+                                          process last confirmed)
+serve_worker_mapped_generation gauge      --  (worker-side: epoch this
+                                          process has mapped)
+serve_worker_restarts_total    counter    --  (respawns after death)
+serve_epoch_publishes_total    counter    --  (copy-on-write publishes)
+serve_epoch_bytes              gauge      --  (bytes in the live epoch
+                                              segment)
+=============================  =========  ================================
+
 The fault-injection and resilience layer (:mod:`repro.faults`,
 DESIGN.md §4g) adds:
 

@@ -14,15 +14,23 @@ concurrent independent single requests, by coalescing them:
   ``(max_batch_size, max_wait_ms)`` policy, shedding expired requests;
 * :class:`~repro.serve.locks.RWLock` — the readers/writer lock that
   serializes template mutations against in-flight scoring batches;
+* :class:`~repro.serve.pool.WorkerPool` — the multi-process worker
+  pool behind ``num_worker_processes``: spawned pipeline replicas
+  mapping shared-memory model/gallery epochs zero-copy
+  (:mod:`~repro.serve.shm`), with versioned copy-on-write epoch
+  publishing and per-process metrics merged back into the parent;
 * :mod:`~repro.serve.loadgen` — closed/open-loop load generation
-  behind ``python -m repro serve-bench`` (imported lazily; it drags in
-  the recording substrate).
+  (fixed-rate, Poisson and diurnal-burst arrivals) behind
+  ``python -m repro serve-bench`` (imported lazily; it drags in the
+  recording substrate).
 
-See DESIGN.md §4f for the batching policy and the locking contract.
+See DESIGN.md §4f for the batching policy and the locking contract,
+and §4i for the process topology and epoch protocol.
 """
 
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.locks import RWLock
+from repro.serve.pool import WorkerMetricsAggregator, WorkerPool
 from repro.serve.server import (
     AuthFuture,
     AuthServer,
@@ -39,4 +47,6 @@ __all__ = [
     "RequestKind",
     "RequestStatus",
     "ServeRequest",
+    "WorkerMetricsAggregator",
+    "WorkerPool",
 ]

@@ -17,11 +17,18 @@ exposing three attributes —
     stamped by :meth:`offer`; the batcher reads it back for the
     ``max_wait`` policy and the queue-wait histogram.
 
-Policy: a worker blocked in :meth:`next_batch` dispatches the batch at
-the head of the FIFO as soon as **either** ``max_batch_size`` items of
-the head key are queued **or** the head item has waited ``max_wait_s``
-(so an idle-arrival request pays at most ``max_wait_s`` of queueing,
-and a loaded queue ships full batches).  A closing batcher dispatches
+Policy: a worker blocked in :meth:`next_batch` dispatches the
+earliest-arrived key whose group is *ready* — **either**
+``max_batch_size`` items of that key are queued **or** its oldest item
+has waited ``max_wait_s`` (so an idle-arrival request pays at most
+``max_wait_s`` of queueing, and a loaded queue ships full batches).
+Keys are scanned in order of their oldest item, so the FIFO head
+always gets first claim and single-key behaviour is exactly the
+classic head policy; with several keys queued, a later key that
+already filled a batch no longer waits out the head's coalescing
+window — that head-of-line blocking was invisible with one worker but
+wastes real capacity once multiple dispatchers (one per worker
+process) drain the queue in parallel.  A closing batcher dispatches
 immediately — drain never waits out the coalescing timer.
 
 Admission control is a bounded FIFO: :meth:`offer` returns ``False``
@@ -143,9 +150,9 @@ class DynamicBatcher:
                     if shed:
                         break  # resolve outside the lock, then retry
                     if self._items:
-                        ready, wait = self._head_policy_locked(now)
-                        if ready:
-                            batch = self._take_head_batch_locked()
+                        ready_key, wait = self._dispatch_policy_locked(now)
+                        if ready_key is not None:
+                            batch = self._take_batch_locked(ready_key)
                             break
                         self._cond.wait(wait)
                     elif self._closed:
@@ -191,29 +198,37 @@ class DynamicBatcher:
         obs.set_gauge("serve_queue_depth", len(self._items))
         return shed
 
-    def _head_policy_locked(self, now: float) -> tuple[bool, float]:
-        """(ready, wait_s) for the batch at the head of the FIFO."""
-        head = self._items[0]
+    def _dispatch_policy_locked(self, now: float) -> tuple[object | None, float]:
+        """(ready_key | None, wait_s): the earliest dispatchable key group.
+
+        One O(n) scan builds per-key counts and oldest arrivals; keys
+        are then considered in order of their oldest item (insertion
+        order of the dict), so the FIFO head has first claim and the
+        single-key case degenerates to the classic head policy.
+        """
         if self._closed:
-            return True, 0.0
-        if now - head.enqueued_at >= self.max_wait_s:
-            return True, 0.0
-        count = 0
+            return self._items[0].key, 0.0
+        counts: dict = {}
+        oldest: dict = {}
         for item in self._items:
-            if item.key == head.key:
-                count += 1
-                if count >= self.max_batch_size:
-                    return True, 0.0
-        # Sleep until the head's coalescing window closes or the
+            counts[item.key] = counts.get(item.key, 0) + 1
+            if item.key not in oldest:
+                oldest[item.key] = item.enqueued_at
+        for key, first_at in oldest.items():
+            if (
+                now - first_at >= self.max_wait_s
+                or counts[key] >= self.max_batch_size
+            ):
+                return key, 0.0
+        # Sleep until the earliest coalescing window closes or the
         # nearest request deadline expires, whichever comes first.
-        wake = head.enqueued_at + self.max_wait_s
+        wake = min(oldest.values()) + self.max_wait_s
         for item in self._items:
             if item.deadline is not None and item.deadline < wake:
                 wake = item.deadline
-        return False, max(wake - now, 1e-4)
+        return None, max(wake - now, 1e-4)
 
-    def _take_head_batch_locked(self) -> list:
-        key = self._items[0].key
+    def _take_batch_locked(self, key) -> list:
         batch: list = []
         rest: deque = deque()
         for item in self._items:

@@ -172,7 +172,7 @@ class ServeRequest:
 
 
 class AuthServer:
-    """Thread-based serving facade over one :class:`MandiPass` device.
+    """Serving facade over one :class:`MandiPass` device.
 
     Args:
         system: the device facade whose batch APIs serve the traffic.
@@ -184,14 +184,26 @@ class AuthServer:
             *refused* while the backend is persistently failing
             (DESIGN.md §4g).
 
+    Two execution modes share every submission/batching/settlement code
+    path (DESIGN.md §4i):
+
+    * ``num_worker_processes == 0`` (default): ``num_workers`` threads
+      drain batches into the facade's batch APIs in-process.
+    * ``num_worker_processes == N > 0``: a
+      :class:`~repro.serve.pool.WorkerPool` of N spawned processes runs
+      the pipeline against shared-memory epochs, with one dispatcher
+      thread per process.  Decisions are bitwise identical to the
+      in-process path on identical batch compositions.
+
     Requests may be submitted before :meth:`start` — they queue (up to
     capacity) and are served once workers run.  Usable as a context
     manager: ``with AuthServer(device) as server: ...`` starts workers
     on entry and drains on exit.
 
     A worker that dies mid-batch (:class:`~repro.errors.WorkerKilledError`)
-    fails that batch's unresolved futures and is replaced by a fresh
-    worker thread, so capacity survives worker crashes.
+    fails that batch's unresolved futures and is replaced — a fresh
+    thread in thread mode, a respawned process in pool mode — so
+    capacity survives worker crashes.
     """
 
     def __init__(
@@ -219,6 +231,7 @@ class AuthServer:
         self._state_lock = threading.Lock()
         self._started = False
         self._stopped = False
+        self._pool = None  # WorkerPool when num_worker_processes > 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -241,9 +254,20 @@ class AuthServer:
                     self.system.warm_gallery()
                 except TransientError:
                     obs.inc("degraded_total", path="gallery_warmup")
-            for index in range(self.config.num_workers):
+            if self.config.num_worker_processes > 0:
+                from repro.serve.pool import WorkerPool
+
+                self._pool = WorkerPool(self.system, self.config)
+                self._pool.start()  # unlinks its segments if boot fails
+            # Pool mode pairs one dispatcher thread with each worker
+            # process; thread mode keeps the in-process pool.
+            num_workers = (
+                self.config.num_worker_processes or self.config.num_workers
+            )
+            for index in range(num_workers):
                 worker = threading.Thread(
                     target=self._worker_loop,
+                    args=(index,),
                     name=f"authserver-worker-{index}",
                     daemon=True,
                 )
@@ -285,6 +309,10 @@ class AuthServer:
             workers = list(self._workers)
         for worker in workers:
             worker.join(max(deadline - time.monotonic(), 0.0))
+        if self._pool is not None:
+            # After the dispatchers drained: stop the processes and
+            # unlink every shared-memory segment the pool published.
+            self._pool.stop()
         return not any(worker.is_alive() for worker in workers)
 
     def __enter__(self) -> "AuthServer":
@@ -301,6 +329,24 @@ class AuthServer:
     @property
     def queue_depth(self) -> int:
         return self._batcher.depth
+
+    @property
+    def pool(self):
+        """The :class:`~repro.serve.pool.WorkerPool`, or None (thread mode)."""
+        return self._pool
+
+    def worker_metrics(self) -> dict:
+        """Merged worker-process metrics (empty dicts in thread mode).
+
+        Pool mode: each worker ships its cumulative registry snapshot
+        with every reply; the parent keeps the latest per (process,
+        spawn generation) and merges them idempotently, so this never
+        double-counts (see
+        :class:`~repro.serve.pool.WorkerMetricsAggregator`).
+        """
+        if self._pool is None:
+            return {"counters": {}, "gauges": {}, "histograms": {}}
+        return self._pool.worker_metrics()
 
     # -- submission -----------------------------------------------------
 
@@ -363,37 +409,56 @@ class AuthServer:
 
     # -- worker side ----------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int) -> None:
         while True:
             batch = self._batcher.next_batch()
             if batch is None:
                 return
             try:
-                self._serve_batch(batch)
+                self._serve_batch(batch, index)
             except WorkerKilledError:
                 # The batch's futures were already failed by
                 # _serve_batch; replace the dying worker so serving
                 # capacity survives the crash.
                 obs.inc("serve_worker_deaths_total")
-                self._respawn_worker()
+                if self._pool is not None:
+                    # The *process* died and the pool respawned it; this
+                    # dispatcher thread is unharmed and keeps draining.
+                    continue
+                self._respawn_worker(index)
                 return
 
-    def _respawn_worker(self) -> None:
+    def _respawn_worker(self, index: int) -> None:
         with self._state_lock:
-            index = len(self._workers)
             worker = threading.Thread(
                 target=self._worker_loop,
-                name=f"authserver-worker-{index}",
+                args=(index,),
+                name=f"authserver-worker-{index}-respawn",
                 daemon=True,
             )
             worker.start()
             self._workers.append(worker)
         obs.inc("serve_worker_restarts_total")
 
-    def _call_batch(self, head: ServeRequest, recordings: list) -> list:
+    def _call_batch(
+        self, head: ServeRequest, recordings: list, index: int
+    ) -> list:
         def invoke():
             faults.maybe_delay("serve.worker")
-            faults.maybe_fail("serve.worker")
+            try:
+                faults.maybe_fail("serve.worker")
+            except WorkerKilledError:
+                if self._pool is not None:
+                    # Make the injected death real: terminate the
+                    # process so respawn/settlement exercise the same
+                    # machinery an organic crash would.
+                    self._pool.kill_worker(index)
+                raise
+            if self._pool is not None:
+                self._pool.ensure_current_epoch()
+                return self._pool.execute(
+                    index, head.kind, head.user_id, recordings
+                )
             if head.kind is RequestKind.VERIFY:
                 return self.system.verify_many(head.user_id, recordings)
             return self.system.identify_many(recordings)
@@ -401,9 +466,17 @@ class AuthServer:
         timeout_s = self.resilience.stage_timeout_s
         if timeout_s is None:
             return invoke()
-        return call_with_timeout(
-            invoke, timeout_s, label=f"serve.{head.kind.value}"
-        )
+        try:
+            return call_with_timeout(
+                invoke, timeout_s, label=f"serve.{head.kind.value}"
+            )
+        except StageTimeoutError:
+            if self._pool is not None:
+                # The stalled call is still holding the worker's pipe;
+                # reclaim the process so the next batch gets a fresh
+                # one instead of queueing behind the stall.
+                self._pool.kill_worker(index)
+            raise
 
     def _fail_batch(
         self, batch: list, error: BaseException, status: RequestStatus
@@ -411,7 +484,7 @@ class AuthServer:
         for request in batch:
             request.future._fail(error, status)
 
-    def _serve_batch(self, batch: list) -> None:
+    def _serve_batch(self, batch: list, index: int = 0) -> None:
         head = batch[0]
         if not self._breaker.allow():
             obs.inc("serve_refused_total", reason="circuit_open")
@@ -426,7 +499,7 @@ class AuthServer:
         attempt = 0
         while True:
             try:
-                results = self._call_batch(head, recordings)
+                results = self._call_batch(head, recordings, index)
                 break
             except WorkerKilledError as exc:
                 # Terminal for this worker: answer the batch, then let

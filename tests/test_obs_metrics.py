@@ -224,3 +224,67 @@ class TestMetricsProperties:
         assert count_line == [f'lat_count{{stage="s"}} {len(values)}']
         inf_line = [l for l in text.splitlines() if 'le="+Inf"' in l]
         assert inf_line == [f'lat_bucket{{stage="s",le="+Inf"}} {len(values)}']
+
+
+class TestMergeSnapshots:
+    """Cross-process snapshot folding behind the worker-pool metrics."""
+
+    @staticmethod
+    def _registry_with(counter: float, gauge: float, values: list) -> dict:
+        registry = MetricsRegistry()
+        registry.counter("reqs", kind="verify").inc(counter)
+        registry.gauge("gen").set(gauge)
+        for value in values:
+            registry.histogram("lat", buckets=(1.0, 10.0), stage="s").observe(
+                value
+            )
+        return registry.to_dict()
+
+    def test_counters_add_gauges_max_histograms_fold(self):
+        from repro.obs.metrics import merge_snapshots
+
+        a = self._registry_with(3.0, 2.0, [0.5, 5.0])
+        b = self._registry_with(4.0, 7.0, [20.0])
+        merged = merge_snapshots([a, b])
+        assert merged["counters"]['reqs{kind="verify"}'] == 7.0
+        assert merged["gauges"]["gen"] == 7.0
+        hist = merged["histograms"]['lat{stage="s"}']
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(25.5)
+        # Positional bucket fold: same layout, counts added per bound.
+        assert [count for _, count in hist["buckets"]] == [1, 2, 3]
+
+    def test_merge_is_idempotent_in_the_snapshot_set(self):
+        from repro.obs.metrics import merge_snapshots
+
+        a = self._registry_with(3.0, 2.0, [0.5])
+        b = self._registry_with(4.0, 7.0, [])
+        assert merge_snapshots([a, b]) == merge_snapshots([a, b])
+        # Re-delivering the *same* snapshot must go through the
+        # latest-per-key store (WorkerMetricsAggregator), not here:
+        # merging is by-value, so the caller deduplicates by identity.
+
+    def test_empty_and_none_snapshots_are_ignored(self):
+        from repro.obs.metrics import merge_snapshots
+
+        a = self._registry_with(1.0, 1.0, [])
+        merged = merge_snapshots([{}, a])
+        assert merged["counters"] == a["counters"]
+
+    def test_bucket_layout_mismatch_raises(self):
+        from repro.obs.metrics import merge_snapshots
+
+        a = self._registry_with(1.0, 1.0, [0.5])
+        b = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                'lat{stage="s"}': {
+                    "buckets": [[2.0, 1], [float("inf"), 1]],
+                    "sum": 0.5,
+                    "count": 1,
+                }
+            },
+        }
+        with pytest.raises(ValueError, match="bucket layout"):
+            merge_snapshots([a, b])

@@ -30,8 +30,21 @@ from repro.errors import (
     ServingError,
 )
 from repro.serve import AuthServer, DynamicBatcher, RequestStatus, RWLock
+from repro.serve import shm as serve_shm
 
 WATCHDOG_S = 60.0
+
+
+@pytest.fixture(autouse=True)
+def _clean_shm_namespace():
+    """Every serve test leaves the shared-memory namespace spotless.
+
+    Thread-mode tests publish nothing, so this is free for them — but
+    any test that (even accidentally) starts a process pool and leaks
+    a segment fails here, loudly, instead of stranding /dev/shm.
+    """
+    yield
+    serve_shm.assert_no_leaked_segments()
 
 
 def watchdog(seconds: float = WATCHDOG_S):
