@@ -28,6 +28,7 @@ from repro.config import (
     SamplingConfig,
     SecurityConfig,
     ServingConfig,
+    StreamConfig,
     TrainingConfig,
 )
 from repro.core import (
@@ -49,6 +50,7 @@ from repro.imu import IDEAL_IMU, MPU6050, MPU9250, Recorder
 from repro.physio import PersonProfile, RecordingCondition, sample_population
 from repro.security import CancelableTransform, SecureEnclave
 from repro.serve import AuthFuture, AuthServer, RequestStatus
+from repro.stream import SessionDecision, SessionState, StreamSession
 from repro.types import Activity, EarSide, Gender, Mouthful, Tone, VerificationResult
 
 __version__ = "1.0.0"
@@ -86,6 +88,10 @@ __all__ = [
     "SecureEnclave",
     "SecurityConfig",
     "ServingConfig",
+    "SessionDecision",
+    "SessionState",
+    "StreamConfig",
+    "StreamSession",
     "SynthDataset",
     "Tone",
     "TrainingConfig",

@@ -195,7 +195,83 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Live continuous-authentication demo: one session, chunked feed."""
+    import numpy as np
+
+    from repro.config import StreamConfig
+    from repro.serve.loadgen import build_bench_system
+    from repro.stream import StreamSession
+
+    system, user_id, probes = build_bench_system(num_probes=8)
+    stream = np.concatenate(probes[: args.events], axis=0)
+    config = StreamConfig(chunk_size=args.chunk_size, cooldown_samples=105)
+    print(f"continuous authentication: user {user_id!r}, "
+          f"{args.events} vibration events, "
+          f"{stream.shape[0]} samples in {config.chunk_size}-sample chunks")
+    session = StreamSession(user_id, system=system, config=config)
+    decisions = []
+    for pos in range(0, stream.shape[0], config.chunk_size):
+        decisions += session.push(stream[pos : pos + config.chunk_size])
+    decisions += session.close()
+    for decision in decisions:
+        verdict = ("ACCEPT" if decision.result and decision.result.accepted
+                   else "REJECT")
+        distance = (f"{decision.result.distance:.4f}" if decision.result
+                    else "-")
+        print(f"  onset @ sample {decision.onset:5d}  "
+              f"window [{decision.window_start}, {decision.window_end})  "
+              f"distance {distance}  -> {verdict}")
+    trace = " -> ".join(f"{name}@{at}" for name, at in session.trace[:10])
+    print(f"  trace: {trace}{' ...' if len(session.trace) > 10 else ''}")
+    print(f"  {len(decisions)} decisions from {session.stats()['onsets']} "
+          "detected onsets (exactly-once)")
+    return 0
+
+
+def _cmd_stream_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.stream.bench import stream_benchmark
+
+    counts = (1, 4) if args.quick else (1, 2, 4, 8)
+    repeats = 4 if args.quick else 10
+    report = stream_benchmark(
+        session_counts=counts,
+        repeats=repeats,
+        dtype=args.dtype,
+        output_path=Path(args.output) if args.output else None,
+    )
+    machine = report["machine"]
+    print(f"sustained-streams benchmark "
+          f"({'quick' if args.quick else 'full'} mode, "
+          f"{report['config']['dtype']}, "
+          f"chunk {report['config']['chunk_size']} samples)")
+    print(f"  machine    : {machine['usable_cpus']}/{machine['cpu_count']} "
+          f"cpus usable, python {machine['python']}")
+    seq = report["sequential"]
+    print(f"  sequential : {seq['throughput_rps']:8.1f} dec/s "
+          f"(p50 {seq['p50_ms']:.1f} ms)")
+    print(f"  megabatch  : {report['megabatch']['throughput_rps']:8.1f} dec/s")
+    for row in report["sweep"]:
+        print(f"  {row['sessions']:2d} sessions: "
+              f"{row['throughput_dps']:8.1f} dec/s "
+              f"({row['decisions']}/{row['expected_decisions']} decisions, "
+              f"p50 {row['decision_latency_p50_ms']:.1f} ms)")
+    claims = report["claims"]
+    print(f"  best       : {claims['best_sessions']} sessions at "
+          f"{claims['ratio_vs_sequential']:.2f}x sequential "
+          f"(exactly-once: {claims['exactly_once']})")
+    if args.output:
+        print(f"# report written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.streams:
+        if args.output == "BENCH_serving.json":
+            args.output = "BENCH_stream.json"
+        return _cmd_stream_bench(args)
     from repro.serve.loadgen import serving_benchmark
 
     processes = (
@@ -398,7 +474,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_serving.json",
         help="write the JSON report here",
     )
+    serve_bench.add_argument(
+        "--streams", action="store_true",
+        help="run the sustained-streams suite instead (N continuous "
+             "sessions vs the batch paths; writes BENCH_stream.json)",
+    )
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    stream = sub.add_parser(
+        "stream",
+        help="continuous-authentication demo: one session over a live feed",
+    )
+    stream.add_argument("--events", type=int, default=3,
+                        help="number of vibration events in the feed")
+    stream.add_argument("--chunk-size", type=int, default=35,
+                        help="samples per pushed chunk")
+    stream.set_defaults(func=_cmd_stream)
 
     gallery_bench = sub.add_parser(
         "gallery-bench",

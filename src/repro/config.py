@@ -391,6 +391,59 @@ class ResilienceConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class StreamConfig:
+    """Continuous-authentication session policy (:mod:`repro.stream`).
+
+    A :class:`~repro.stream.StreamSession` consumes a live ``(k, 6)``
+    IMU feed, confirms 'EMM' onsets with the streaming detector, and
+    submits each captured post-onset window for verification.  All
+    sample counts are at the IMU rate (350 Hz by default).
+
+    Attributes:
+        chunk_size: default push granularity for the CLI demo and the
+            sustained-streams bench (35 samples = 100 ms at 350 Hz).
+            Sessions accept any chunking — decisions are bitwise
+            chunk-size-invariant — so this only shapes load patterns.
+        cooldown_samples: refractory period after each decision before
+            the session re-arms; absorbs the decaying tail of the
+            vibration so one 'EMM' cannot double-trigger.
+        rearm_after_samples: cap on an onset-less armed window.  The
+            session buffers raw samples from arming until capture so
+            the submitted window reproduces the batch pipeline exactly;
+            hitting this cap discards the buffer and re-arms with a
+            fresh detector, bounding memory at a few seconds of feed.
+        verify_timeout_ms: optional queueing deadline forwarded to
+            :meth:`repro.serve.AuthServer.verify` for server-backed
+            sessions; ``None`` submits without a deadline.
+        drain_timeout_s: default wait for in-flight verifications in
+            :meth:`~repro.stream.StreamSession.drain`.
+        local_gate: run the pipeline's sustained-vibration quality gate
+            in-session (on the assembled segment) and refuse locally —
+            emitting the same maximal-distance result the engine would —
+            instead of spending a server round-trip on near-silence.
+    """
+
+    chunk_size: int = 35
+    cooldown_samples: int = 105
+    rearm_after_samples: int = 4096
+    verify_timeout_ms: float | None = None
+    drain_timeout_s: float = 30.0
+    local_gate: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.chunk_size > 0, "chunk_size must be positive")
+        _require(self.cooldown_samples >= 0, "cooldown_samples must be >= 0")
+        _require(
+            self.rearm_after_samples > 0, "rearm_after_samples must be positive"
+        )
+        _require(
+            self.verify_timeout_ms is None or self.verify_timeout_ms > 0,
+            "verify_timeout_ms must be positive when given",
+        )
+        _require(self.drain_timeout_s > 0, "drain_timeout_s must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
 class SecurityConfig:
     """Cancelable-template parameters (Section VI)."""
 
@@ -433,8 +486,15 @@ class MandiPassConfig:
     serving: ServingConfig = dataclasses.field(default_factory=ServingConfig)
     resilience: ResilienceConfig = dataclasses.field(default_factory=ResilienceConfig)
     gallery: GalleryConfig = dataclasses.field(default_factory=GalleryConfig)
+    stream: StreamConfig = dataclasses.field(default_factory=StreamConfig)
 
     def __post_init__(self) -> None:
+        _require(
+            self.stream.rearm_after_samples
+            >= self.preprocess.segment_length + 3 * self.preprocess.onset_window,
+            "stream.rearm_after_samples must fit one confirmable event "
+            "(segment_length + 3 * onset_window)",
+        )
         _require(
             self.preprocess.sample_rate_hz == self.sampling.rate_hz,
             "preprocess.sample_rate_hz must match sampling.rate_hz",

@@ -196,14 +196,40 @@ def _refine_onset(
     relative to the vibration attack.
     """
     window = config.onset_window
-    lo = max(0, coarse_start - window)
-    hi = min(detection.shape[0] - window, coarse_start + 2 * window)
+    lo, hi = refinement_bounds(detection.shape[0], coarse_start, window)
     if hi <= lo:
         return coarse_start
+    return refine_from_region(detection[lo : hi + window], lo, hi, window)
+
+
+def refinement_bounds(
+    num_samples: int, coarse_start: int, window: int
+) -> tuple[int, int]:
+    """The stride-1 search range ``[lo, hi]`` for refinement starts.
+
+    ``hi`` stops depending on the signal length once
+    ``num_samples >= coarse_start + 3 * window`` — the condition the
+    streaming detector waits for before it finalises an onset, because
+    from that point every longer prefix yields the same bounds.
+    """
+    lo = max(0, coarse_start - window)
+    hi = min(num_samples - window, coarse_start + 2 * window)
+    return lo, hi
+
+
+def refine_from_region(
+    region: np.ndarray, lo: int, hi: int, window: int
+) -> int:
+    """Half-rise refinement over ``detection[lo : hi + window]``.
+
+    ``region`` must be that slice (or a bitwise-equal copy in the same
+    column-contiguous layout, as the streaming detector's ring gather
+    produces); the return value is the absolute refined onset.
+    """
     # Rolling std of the detection metric on a stride-1 grid.
     rolling = np.empty(hi - lo + 1)
     for offset, start in enumerate(range(lo, hi + 1)):
-        chunk = detection[start : start + window]
+        chunk = region[start - lo : start - lo + window]
         rolling[offset] = chunk.std(axis=0).max()
     # Anchor at the half-rise point of the attack.  A relative anchor is
     # effort-invariant: a louder trial crosses any *absolute* threshold

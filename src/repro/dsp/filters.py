@@ -188,25 +188,58 @@ def design_bandstop(
     return np.tile(section, (order // 2, 1))
 
 
+def normalized_sections(
+    sos: np.ndarray,
+) -> list[tuple[np.float64, np.float64, np.float64, np.float64, np.float64]]:
+    """Per-section ``(b0, b1, b2, a1, a2)`` with ``a0`` divided out.
+
+    This is the one place the coefficient normalisation rule lives:
+    divide by ``a0`` only when ``abs(a0 - 1.0) > 1e-12``, via the exact
+    expression ``c / a0``.  Both :func:`sosfilt` and the streaming twin
+    (:class:`repro.stream.StreamingSOSFilter`) consume this helper, so
+    the two paths run on bitwise-identical coefficients by construction.
+    """
+    sos = np.asarray(sos, dtype=np.float64)
+    if sos.ndim != 2 or sos.shape[1] != 6:
+        raise ShapeError("sos must be (num_sections, 6)")
+    sections = []
+    for section in sos:
+        b0, b1, b2, a0, a1, a2 = section
+        if abs(a0 - 1.0) > 1e-12:
+            b0, b1, b2, a1, a2 = (c / a0 for c in (b0, b1, b2, a1, a2))
+        sections.append((b0, b1, b2, a1, a2))
+    return sections
+
+
 def sosfilt(sos: np.ndarray, signal: np.ndarray) -> np.ndarray:
     """Apply cascaded biquads along the last axis (direct form II transposed).
 
     Accepts any leading batch shape; state is kept per batch element, so
     a ``(6, n)`` signal array filters all six axes in one call.
+
+    **Zero-initial-condition contract.**  Every call starts each
+    section's two delay registers at exactly ``0.0`` (``s1 = s2 = 0``):
+    the filter behaves as if the signal were preceded by infinite
+    silence, and the first output sample is ``b0 * x[0]`` through the
+    cascade.  Callers that need the filter settled on a DC level (the
+    onset detector's gravity-loaded accelerometer) must pad the input
+    themselves — see ``repro.dsp.detection._detection_signal`` — because
+    this function never carries state across calls.  The streaming twin
+    honours the same contract: a freshly constructed (or ``reset()``)
+    :class:`repro.stream.StreamingSOSFilter` starts from the same zero
+    state, so its first-chunk transient is bitwise identical to this
+    function's output on the same samples, and chunked processing with
+    carried state is bitwise identical to one whole-signal call (the
+    per-(sample, section) update is elementwise, so the section-outer /
+    time-inner loop order commutes with any chunking of the time axis).
     """
-    sos = np.asarray(sos, dtype=np.float64)
-    if sos.ndim != 2 or sos.shape[1] != 6:
-        raise ShapeError("sos must be (num_sections, 6)")
     signal = np.asarray(signal, dtype=np.float64)
     if signal.ndim == 0:
         raise ShapeError("signal must have at least one dimension")
     out = signal.copy()
     batch_shape = out.shape[:-1]
     num = out.shape[-1]
-    for section in sos:
-        b0, b1, b2, a0, a1, a2 = section
-        if abs(a0 - 1.0) > 1e-12:
-            b0, b1, b2, a1, a2 = (c / a0 for c in (b0, b1, b2, a1, a2))
+    for b0, b1, b2, a1, a2 in normalized_sections(sos):
         s1 = np.zeros(batch_shape)
         s2 = np.zeros(batch_shape)
         for i in range(num):

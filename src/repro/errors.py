@@ -139,3 +139,11 @@ class InsufficientAxesError(SignalError):
     ``resilience.min_usable_axes`` axes carry finite, live signal
     (sensor dropout, NaN bursts).  A recording failing this gate is a
     refusal, never a biometric reject."""
+
+
+class StreamStateError(ReproError, RuntimeError):
+    """A streaming primitive or session was used out of order.
+
+    Raised e.g. when a :class:`repro.stream.SegmentAssembler` is asked
+    to finalise before its segment is complete, or a closed
+    :class:`repro.stream.StreamSession` receives further samples."""

@@ -53,6 +53,10 @@ RULE_TEMPLATES: tuple[FaultRule, ...] = (
         "serve.worker", "delay", probability=0.3, max_fires=5, delay_s=0.004
     ),
     FaultRule("serve.worker", "error", probability=0.35, max_fires=4),
+    FaultRule("stream.push", "error", probability=0.3, max_fires=5),
+    FaultRule(
+        "stream.push", "delay", probability=0.3, max_fires=5, delay_s=0.002
+    ),
 )
 
 

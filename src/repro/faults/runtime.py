@@ -29,6 +29,12 @@ gallery.compact     error / delay         tombstone compaction of one
                                           identification)
 serve.queue         reject                admission queue reports full
 serve.worker        kill / delay / error  worker death / stall / failure
+stream.push         error / delay         one pushed chunk of a
+                                          continuous-auth session:
+                                          ``error`` drops the chunk
+                                          (counted, session stays
+                                          consistent), ``delay`` stalls
+                                          ingest
 ==================  ====================  ===============================
 
 Fires are counted into the ``fault_injected_total{point,kind}`` metric

@@ -108,6 +108,28 @@ serve_worker_restarts_total counter    --  (replacement workers spawned)
 serve_breaker_state         gauge      --  (0 closed, 1 open)
 serve_breaker_open_total    counter    --  (breaker trip events)
 ==========================  =========  =====================================
+
+The streaming continuous-authentication layer (:mod:`repro.stream`,
+DESIGN.md §4j) adds — plus ``stream_detect`` / ``stream_submit``
+stages in ``stage_latency_seconds``:
+
+===============================  =========  ==============================
+name                             kind       labels
+===============================  =========  ==============================
+stream_sessions_active           gauge      --  (open sessions, process-
+                                                wide)
+stream_samples_total             counter    --  (raw samples pushed)
+stream_onsets_total              counter    --  (streaming detections)
+stream_decisions_total           counter    ``decision``: accept, reject,
+                                            refusal
+stream_decision_latency_seconds  histogram  --  (window submit to decision)
+stream_rearms_total              counter    --  (detector restarts:
+                                                refractory expiry and
+                                                onset-free rearm windows)
+stream_dropped_chunks_total      counter    --  (``stream.push`` faults)
+stream_local_refusals_total      counter    --  (pre-submit gate failures
+                                                when ``local_gate`` is on)
+===============================  =========  ==============================
 """
 
 from __future__ import annotations

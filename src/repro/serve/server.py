@@ -232,6 +232,7 @@ class AuthServer:
         self._started = False
         self._stopped = False
         self._pool = None  # WorkerPool when num_worker_processes > 0
+        self._streams: list = []  # StreamSessions opened via open_stream
 
     # -- lifecycle ------------------------------------------------------
 
@@ -284,6 +285,13 @@ class AuthServer:
         With ``drain=False`` queued-but-undispatched requests resolve
         as rejected instead of being served.
         """
+        # Close streaming sessions first, while the workers can still
+        # serve their in-flight windows: each close() drains at most one
+        # pending decision per session.
+        with self._state_lock:
+            streams, self._streams = list(self._streams), []
+        for session in streams:
+            session.close(timeout if drain else 0.0)
         with self._state_lock:
             already = self._stopped
             self._stopped = True
@@ -371,6 +379,54 @@ class AuthServer:
     ) -> AuthFuture:
         """Submit one 1:N identification request; never blocks."""
         return self._submit(RequestKind.IDENTIFY, None, recording, timeout_ms)
+
+    def open_stream(
+        self,
+        user_id: str,
+        stream_config=None,
+        on_decision=None,
+        session_id: str | None = None,
+    ):
+        """Open a continuous-authentication session backed by this server.
+
+        The returned :class:`~repro.stream.StreamSession` submits each
+        captured post-onset window through :meth:`verify`, so windows
+        from N concurrent sessions coalesce in the dynamic batcher with
+        all other traffic.  Sessions are first-class server workload:
+        they are tracked on :attr:`streams` and closed (draining any
+        in-flight decision) by :meth:`stop`.
+
+        Args:
+            user_id: the claimed identity the session continuously
+                re-verifies (must be enrolled, as for :meth:`verify`).
+            stream_config: per-session policy; defaults to
+                ``system.config.stream``.
+            on_decision: optional callback receiving each
+                :class:`~repro.stream.SessionDecision`.
+            session_id: stable identifier for traces and decisions.
+        """
+        from repro.stream.session import StreamSession
+
+        with self._state_lock:
+            if self._stopped or not self._started:
+                raise AdmissionRejectedError("server is not running")
+        session = StreamSession(
+            user_id,
+            server=self,
+            config=stream_config,
+            on_decision=on_decision,
+            session_id=session_id,
+        )
+        with self._state_lock:
+            self._streams.append(session)
+        return session
+
+    @property
+    def streams(self) -> tuple:
+        """Sessions opened via :meth:`open_stream` and not yet closed."""
+        with self._state_lock:
+            self._streams = [s for s in self._streams if not s.closed]
+            return tuple(self._streams)
 
     def _submit(
         self,

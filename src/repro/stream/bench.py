@@ -1,0 +1,175 @@
+"""Sustained-streams benchmark (``serve-bench --streams``).
+
+Measures what N long-lived continuous-authentication sessions cost per
+*decision* compared with the batch paths on the same probes:
+
+* **sequential** — ``system.verify`` per probe, one at a time: the
+  pre-serving baseline, and the "equivalent batch path" the headline
+  claim is measured against.
+* **megabatch** — one ``verify_many`` over every probe at once: the
+  upper bound when all windows are known ahead of time (streaming can
+  never beat it; the interesting question is how close N sessions get).
+* **sweep** — for each session count N, N threads each pump a
+  concatenated probe stream chunk-by-chunk through a server-backed
+  :class:`~repro.stream.StreamSession`; their captured windows coalesce
+  in the dynamic batcher.  Per-decision throughput counts *decisions*
+  (one per probe per session), so the streaming legs also pay the full
+  onset-detection and capture path the batch legs skip.
+
+The report lands in ``BENCH_stream.json`` with a ``claims`` section the
+benchmark suite asserts: exactly-once decision emission at every N, and
+best-N per-decision throughput >= 0.95x sequential.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import StreamConfig
+from repro.serve.loadgen import build_bench_system, machine_info, run_sequential
+from repro.serve.server import AuthServer
+
+DEFAULT_RESULTS_PATH = Path("BENCH_stream.json")
+
+
+def _session_stream(probes: list, offset: int, repeats: int) -> np.ndarray:
+    """A continuous feed of ``repeats`` probe recordings for one session."""
+    return np.concatenate(
+        [probes[(offset + j) % len(probes)] for j in range(repeats)], axis=0
+    )
+
+
+def _run_streams(
+    server: AuthServer,
+    user_id: str,
+    probes: list,
+    num_sessions: int,
+    repeats: int,
+    stream_config: StreamConfig,
+) -> dict:
+    """N concurrent sessions, each fed its stream chunk-by-chunk."""
+    chunk = stream_config.chunk_size
+    streams = [
+        _session_stream(probes, i, repeats) for i in range(num_sessions)
+    ]
+    decisions: list[list] = [[] for _ in range(num_sessions)]
+    latencies: list[float] = []
+    barrier = threading.Barrier(num_sessions + 1)
+
+    def pump(i: int) -> None:
+        session = server.open_stream(
+            user_id, stream_config=stream_config, session_id=f"bench-{i}"
+        )
+        stream = streams[i]
+        barrier.wait()
+        pos = 0
+        while pos < stream.shape[0]:
+            decisions[i].extend(session.push(stream[pos : pos + chunk]))
+            pos += chunk
+        decisions[i].extend(session.close())
+
+    threads = [
+        threading.Thread(target=pump, args=(i,), daemon=True)
+        for i in range(num_sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - start
+    total = sum(len(ds) for ds in decisions)
+    ok = sum(1 for ds in decisions for d in ds if d.status == "ok")
+    for ds in decisions:
+        latencies.extend(d.latency_s for d in ds)
+    lat = np.asarray(latencies) if latencies else np.asarray([float("nan")])
+    return {
+        "sessions": num_sessions,
+        "repeats": repeats,
+        "expected_decisions": num_sessions * repeats,
+        "decisions": total,
+        "ok": ok,
+        "duration_s": duration,
+        "throughput_dps": total / duration if duration > 0 else 0.0,
+        "decision_latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "decision_latency_p95_ms": float(np.percentile(lat, 95) * 1e3),
+    }
+
+
+def stream_benchmark(
+    session_counts: tuple[int, ...] = (1, 2, 4, 8),
+    repeats: int = 10,
+    chunk_size: int = 35,
+    dtype: str = "float32",
+    output_path: Path | None = None,
+) -> dict:
+    """Run the full sustained-streams suite and write the report.
+
+    Every leg sees the same probe recordings; the streaming legs simply
+    receive them as one continuous chunked feed per session.
+    """
+    system, user_id, probes = build_bench_system(dtype=dtype, num_probes=8)
+    stream_config = StreamConfig(chunk_size=chunk_size, cooldown_samples=105)
+
+    # Batch legs: same number of decisions as the largest streaming leg.
+    baseline_requests = max(session_counts) * repeats
+    sequential = run_sequential(system, user_id, probes, baseline_requests)
+    batch_probes = [probes[i % len(probes)] for i in range(baseline_requests)]
+    t0 = time.perf_counter()
+    system.verify_many(user_id, batch_probes)
+    mega_duration = time.perf_counter() - t0
+
+    sweep = []
+    with AuthServer(system) as server:
+        for count in session_counts:
+            sweep.append(
+                _run_streams(
+                    server, user_id, probes, count, repeats, stream_config
+                )
+            )
+
+    best = max(sweep, key=lambda row: row["throughput_dps"])
+    report = {
+        "machine": machine_info("threads"),
+        "config": {
+            "session_counts": list(session_counts),
+            "repeats": repeats,
+            "chunk_size": chunk_size,
+            "cooldown_samples": stream_config.cooldown_samples,
+            "dtype": dtype,
+            "probe_samples": int(probes[0].shape[0]),
+        },
+        "sequential": sequential.summary(),
+        "megabatch": {
+            "requests": baseline_requests,
+            "duration_s": mega_duration,
+            "throughput_rps": (
+                baseline_requests / mega_duration if mega_duration > 0 else 0.0
+            ),
+        },
+        "sweep": sweep,
+        "claims": {
+            "exactly_once": all(
+                row["decisions"] == row["expected_decisions"] for row in sweep
+            ),
+            "best_sessions": best["sessions"],
+            "best_throughput_dps": best["throughput_dps"],
+            "ratio_vs_sequential": (
+                best["throughput_dps"] / sequential.throughput_rps
+                if sequential.throughput_rps > 0
+                else 0.0
+            ),
+        },
+    }
+    report["claims"]["meets_095x_sequential"] = (
+        report["claims"]["ratio_vs_sequential"] >= 0.95
+    )
+    if output_path is not None:
+        output_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report

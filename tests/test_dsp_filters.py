@@ -10,6 +10,7 @@ from repro.dsp.filters import (
     design_lowpass,
     frequency_response,
     highpass,
+    normalized_sections,
     sosfilt,
 )
 from repro.errors import ConfigError, ShapeError
@@ -113,3 +114,68 @@ class TestSosfilt:
         original = x.copy()
         sosfilt(sos, x)
         np.testing.assert_array_equal(x, original)
+
+
+class TestZeroInitialConditionContract:
+    """``sosfilt`` always starts from rest — the documented contract
+    the streaming twin (and every padding caller) relies on."""
+
+    def test_first_output_is_cascaded_b0_times_x0(self, rng):
+        # With s1 = s2 = 0 the first output of each section is b0 * x0,
+        # so the cascade's first output is (prod b0) * x0 exactly.
+        sos = design_highpass(4, 20.0, FS)
+        x = rng.normal(size=30)
+        sections = normalized_sections(sos)
+        expected = x[0]
+        for b0, _, _, _, _ in sections:
+            expected = b0 * expected
+        assert sosfilt(sos, x)[0] == expected
+
+    def test_repeated_calls_are_independent(self, rng):
+        # No state leaks between calls: same input, same output.
+        sos = design_highpass(4, 20.0, FS)
+        x = rng.normal(size=100)
+        first = sosfilt(sos, x)
+        sosfilt(sos, rng.normal(size=64))  # unrelated traffic
+        np.testing.assert_array_equal(sosfilt(sos, x), first)
+
+    def test_split_filtering_differs_without_carried_state(self, rng):
+        # Filtering two halves independently is NOT the same as one
+        # call — each half restarts from rest.  This is exactly why the
+        # streaming twin must carry (s1, s2) across chunks.
+        sos = design_highpass(4, 20.0, FS)
+        x = rng.normal(size=120)
+        whole = sosfilt(sos, x)
+        split = np.concatenate([sosfilt(sos, x[:60]), sosfilt(sos, x[60:])])
+        assert not np.array_equal(whole, split)
+
+    def test_settling_pad_suppresses_startup_transient(self):
+        # The detection path's first-sample padding: a constant input
+        # long enough for the high-pass to settle leaves outputs near
+        # zero, so real samples see no spurious startup energy.
+        sos = design_highpass(4, 20.0, FS)
+        pad = max(int(round(4.0 * FS / 20.0)), 8)
+        constant = np.full(pad + 50, 123.4)
+        out = sosfilt(sos, constant)
+        assert abs(out[0]) > 1.0  # raw startup transient is large
+        # Settled after the pad: residual ripple is orders of magnitude
+        # below the detector's 100-count sustain threshold.
+        assert np.all(np.abs(out[pad:]) < 0.01)
+
+    def test_normalized_sections_divide_by_a0_once(self):
+        sos = design_highpass(4, 20.0, FS)
+        scaled = sos * 3.0  # a0 = 3 everywhere; same transfer function
+        plain = normalized_sections(sos)
+        rescaled = normalized_sections(scaled)
+        for (b0, b1, b2, a1, a2), (c0, c1, c2, d1, d2) in zip(plain, rescaled):
+            np.testing.assert_allclose(
+                [c0, c1, c2, d1, d2], [b0, b1, b2, a1, a2], rtol=1e-12
+            )
+
+    def test_normalized_sections_passthrough_when_a0_is_one(self):
+        # a0 == 1 (the design_* output) must not be touched at all —
+        # even a divide-by-1.0 could flip the last ulp.
+        sos = design_highpass(4, 20.0, FS)
+        for row, (b0, b1, b2, a1, a2) in zip(sos, normalized_sections(sos)):
+            assert (b0, b1, b2) == (row[0], row[1], row[2])
+            assert (a1, a2) == (row[4], row[5])

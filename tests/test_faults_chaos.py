@@ -681,6 +681,7 @@ class TestChaosSchedules:
             "gallery.compact",
             "serve.queue",
             "serve.worker",
+            "stream.push",
         }
 
     @pytest.mark.parametrize("seed", range(12))

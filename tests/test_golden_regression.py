@@ -182,3 +182,121 @@ class TestVerifyChainGolden:
         np.testing.assert_allclose(
             center_embedding(centred + 0.5), centred, rtol=1e-12
         )
+
+
+class TestStreamingGolden:
+    """Fixed-seed goldens for the streaming layer (DESIGN.md §4j).
+
+    Pins the streaming detector's onset, a two-event session's state
+    trace (exact integers — sample positions, not numerics), and the
+    decision distances, so a refactor of the ring buffer, the scan
+    order, or the session state machine that shifts any observable
+    behaviour fails loudly here.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden_system(self, golden_model, golden_population, golden_recorder):
+        from repro.config import MandiPassConfig, SecurityConfig
+        from repro.core.system import MandiPass
+
+        config = MandiPassConfig(
+            extractor=golden_model.config,
+            security=SecurityConfig(
+                template_dim=64, projected_dim=64, matrix_seed=5
+            ),
+        )
+        system = MandiPass(golden_model, config=config)
+        system.enroll(
+            "golden",
+            [
+                golden_recorder.record(golden_population[0], trial_index=t)
+                for t in (1, 2, 3)
+            ],
+        )
+        return system
+
+    def test_streaming_onset_matches_batch_golden(self, golden_recording):
+        from repro.stream import StreamingOnsetDetector
+
+        detector = StreamingOnsetDetector()
+        onset = None
+        for pos in range(0, golden_recording.shape[0], 35):
+            onset = detector.push(golden_recording[pos : pos + 35])
+            if onset is not None:
+                break
+        assert onset == 63  # == TestPreprocessGolden.test_onset_index
+        assert detector.final_at == 100
+
+    def test_session_trace_golden(
+        self, golden_system, golden_recording, golden_recorder, golden_population
+    ):
+        from repro.config import StreamConfig
+        from repro.stream import StreamSession
+
+        stream = np.concatenate(
+            [
+                golden_recording,
+                golden_recorder.record(golden_population[0], trial_index=4),
+            ],
+            axis=0,
+        )
+        session = StreamSession(
+            "golden",
+            system=golden_system,
+            config=StreamConfig(cooldown_samples=105),
+        )
+        decisions = []
+        for pos in range(0, stream.shape[0], 35):
+            decisions += session.push(stream[pos : pos + 35])
+        decisions += session.close()
+
+        assert [
+            (d.onset, d.window_start, d.window_end) for d in decisions
+        ] == [(63, 0, 123), (237, 228, 297)]
+        assert session.trace == (
+            ("IDLE", 0),
+            ("ONSET", 100),
+            ("CAPTURING", 100),
+            ("VERIFYING", 123),
+            ("COOLDOWN", 123),
+            ("IDLE", 228),
+            ("ONSET", 278),
+            ("CAPTURING", 278),
+            ("VERIFYING", 297),
+            ("COOLDOWN", 297),
+            ("IDLE", 402),
+        )
+
+    def test_session_decision_distances_golden(
+        self, golden_system, golden_recording, golden_recorder, golden_population
+    ):
+        from repro.config import StreamConfig
+        from repro.stream import StreamSession
+
+        stream = np.concatenate(
+            [
+                golden_recording,
+                golden_recorder.record(golden_population[0], trial_index=4),
+            ],
+            axis=0,
+        )
+        session = StreamSession(
+            "golden",
+            system=golden_system,
+            config=StreamConfig(cooldown_samples=105),
+        )
+        decisions = []
+        for pos in range(0, stream.shape[0], 35):
+            decisions += session.push(stream[pos : pos + 35])
+        decisions += session.close()
+
+        assert [d.result.accepted for d in decisions] == [True, True]
+        np.testing.assert_allclose(
+            [d.result.distance for d in decisions],
+            [0.028316409621, 0.057954878964],
+            rtol=RTOL,
+        )
+        # The first streaming decision IS the batch verify on the full
+        # first recording — bitwise, not approximately.
+        batch = golden_system.verify("golden", golden_recording)
+        assert decisions[0].result.distance == batch.distance
