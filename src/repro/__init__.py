@@ -20,9 +20,11 @@ Quickstart::
 """
 
 from repro.config import (
+    CascadeConfig,
     DEFAULT_CONFIG,
     DecisionConfig,
     ExtractorConfig,
+    InferenceConfig,
     MandiPassConfig,
     PreprocessConfig,
     SamplingConfig,
@@ -31,6 +33,9 @@ from repro.config import (
     StreamConfig,
     TrainingConfig,
 )
+# repro.core must load before repro.cascade: core.system finishes the
+# cascade package's initialization itself (it imports repro.cascade while
+# cascade's modules only reach back into repro.core *submodules*).
 from repro.core import (
     BatchItemFailure,
     BatchOutcome,
@@ -40,6 +45,12 @@ from repro.core import (
     cosine_distance,
     extract_embeddings,
     train_extractor,
+)
+from repro.cascade import (
+    ExitPolicy,
+    QuantizedExtractor,
+    Stage1Gate,
+    calibrate_cascade,
 )
 from repro import obs
 from repro.datasets import DatasetCache, DatasetSpec, SynthDataset, generate_dataset
@@ -62,14 +73,17 @@ __all__ = [
     "BatchItemFailure",
     "BatchOutcome",
     "CancelableTransform",
+    "CascadeConfig",
     "DEFAULT_CONFIG",
     "DatasetCache",
     "DatasetSpec",
     "DecisionConfig",
     "EarSide",
+    "ExitPolicy",
     "ExtractorConfig",
     "Gender",
     "IDEAL_IMU",
+    "InferenceConfig",
     "InferenceEngine",
     "MPU6050",
     "MPU9250",
@@ -80,6 +94,7 @@ __all__ = [
     "PersonProfile",
     "PreprocessConfig",
     "Preprocessor",
+    "QuantizedExtractor",
     "Recorder",
     "RecordingCondition",
     "ReproError",
@@ -90,6 +105,7 @@ __all__ = [
     "ServingConfig",
     "SessionDecision",
     "SessionState",
+    "Stage1Gate",
     "StreamConfig",
     "StreamSession",
     "SynthDataset",
@@ -97,6 +113,7 @@ __all__ = [
     "TrainingConfig",
     "TwoBranchExtractor",
     "VerificationResult",
+    "calibrate_cascade",
     "cosine_distance",
     "extract_embeddings",
     "generate_dataset",

@@ -1,0 +1,161 @@
+"""Post-training quantization for the stage-2 extractor.
+
+Two storage schemes, both dequantized back to float for compute (the
+numpy substrate has no low-precision GEMM, so quantization buys model
+*bytes* — the Section VII-E on-device budget — not FLOPs):
+
+``"int8"``
+    Per-output-channel symmetric int8 on every weight tensor with
+    ``ndim >= 2`` (conv kernels ``(out, in, kh, kw)`` and linear
+    weights ``(out, in)``): ``scale[c] = max|w[c]| / 127``, zero-point
+    fixed at 0, one float32 scale per output channel (axis 0).  1-D
+    parameters (biases, BatchNorm gamma/beta) and running buffers stay
+    float32 — they are a rounding error of the byte budget and the
+    BatchNorm fold is numerically touchy.
+
+``"float16"``
+    Every parameter and buffer stored as IEEE half.  Simpler, 2x
+    instead of ~4x, and drift typically an order of magnitude smaller.
+
+Accumulation is float throughout: the quantized state is dequantized
+into a float64 runtime clone once at construction, so the forward pass
+is *exactly* the production code path over slightly-perturbed weights.
+:class:`QuantizedExtractor` satisfies the ``extract_embeddings`` model
+protocol (``training``/``eval``/``embed``/``config``) and can be
+dropped in as the engine's stage-2 model via
+``InferenceConfig.stage2_quantization``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.extractor import TwoBranchExtractor
+from repro.errors import ModelError
+
+#: Schemes accepted by :func:`quantize_state` / :class:`QuantizedExtractor`.
+SCHEMES: tuple[str, ...] = ("int8", "float16")
+
+_INT8_MAX = 127.0
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedTensor:
+    """One stored tensor: quantized payload plus dequantization state.
+
+    Attributes:
+        data: the stored array — int8, float16, or float32 (kept-as-is
+            small parameters under the int8 scheme).
+        scale: per-output-channel float32 scales, broadcastable against
+            axis 0 of ``data``; ``None`` when ``data`` is not int8.
+    """
+
+    data: np.ndarray
+    scale: np.ndarray | None = None
+
+    def dequantize(self) -> np.ndarray:
+        """Recover the float64 tensor the runtime clone loads."""
+        if self.scale is None:
+            return self.data.astype(np.float64)
+        shape = (self.scale.size,) + (1,) * (self.data.ndim - 1)
+        return self.data.astype(np.float64) * self.scale.astype(
+            np.float64
+        ).reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Stored bytes: payload plus scales."""
+        return self.data.nbytes + (0 if self.scale is None else self.scale.nbytes)
+
+
+def _quantize_int8_per_channel(array: np.ndarray) -> QuantizedTensor:
+    flat = array.reshape(array.shape[0], -1)
+    scale = np.abs(flat).max(axis=1) / _INT8_MAX
+    # A dead output channel (all zeros) would divide 0/0; its scale is
+    # arbitrary as long as it is non-zero.
+    scale = np.where(scale == 0.0, 1.0, scale)
+    shape = (array.shape[0],) + (1,) * (array.ndim - 1)
+    quantized = np.clip(
+        np.rint(array / scale.reshape(shape)), -_INT8_MAX, _INT8_MAX
+    ).astype(np.int8)
+    return QuantizedTensor(data=quantized, scale=scale.astype(np.float32))
+
+
+def quantize_state(
+    state: dict[str, np.ndarray], scheme: str
+) -> dict[str, QuantizedTensor]:
+    """Quantize a ``state_dict`` under ``scheme`` (see module doc)."""
+    if scheme not in SCHEMES:
+        raise ModelError(f"unknown quantization scheme: {scheme!r}")
+    quantized: dict[str, QuantizedTensor] = {}
+    for name, array in state.items():
+        array = np.asarray(array)
+        if scheme == "float16":
+            quantized[name] = QuantizedTensor(data=array.astype(np.float16))
+        elif array.ndim >= 2:
+            quantized[name] = _quantize_int8_per_channel(array)
+        else:
+            quantized[name] = QuantizedTensor(data=array.astype(np.float32))
+    return quantized
+
+
+class QuantizedExtractor:
+    """A quantized stand-in for :class:`TwoBranchExtractor`.
+
+    Quantizes ``model.state_dict()`` under ``scheme``, then builds a
+    float64 runtime clone by dequantizing into a fresh extractor of
+    the same architecture — so ``embed`` runs the untouched production
+    forward over perturbed weights.  The object is permanently in eval
+    mode: post-training quantization is an inference-only artifact,
+    and calling :meth:`train` raises.
+
+    Attributes:
+        scheme: ``"int8"`` or ``"float16"``.
+        max_weight_error: largest absolute weight perturbation the
+            quantization introduced (over all tensors), for bench
+            reporting.
+    """
+
+    def __init__(self, model: TwoBranchExtractor, scheme: str) -> None:
+        state = model.state_dict()
+        self._quantized = quantize_state(state, scheme)
+        self.scheme = scheme
+        self.config = model.config
+        self.num_classes = model.num_classes
+        dequantized = {
+            name: tensor.dequantize() for name, tensor in self._quantized.items()
+        }
+        self.max_weight_error = max(
+            float(np.abs(dequantized[name] - np.asarray(state[name])).max())
+            for name in state
+        )
+        runtime = TwoBranchExtractor(model.config, num_classes=model.num_classes)
+        runtime.load_state(dequantized)
+        runtime.eval()
+        self._runtime = runtime
+
+    # -- extract_embeddings model protocol ------------------------------
+
+    @property
+    def training(self) -> bool:
+        return False
+
+    def eval(self) -> "QuantizedExtractor":
+        return self
+
+    def train(self) -> "QuantizedExtractor":
+        raise ModelError("a post-training-quantized extractor cannot train")
+
+    def embed(self, x: np.ndarray) -> np.ndarray:
+        return self._runtime.embed(x)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self._runtime(x)
+
+    # -- storage --------------------------------------------------------
+
+    def storage_nbytes(self) -> int:
+        """On-device bytes under the quantized layout (Section VII-E)."""
+        return sum(tensor.nbytes for tensor in self._quantized.values())

@@ -1,0 +1,186 @@
+"""Stage-1 gate: cheap per-probe confidence scores from signals.
+
+Two scorers, both producing *distance-like* scores (lower = more
+likely the enrolled user) from preprocessed ``(K, 6, n)`` signal
+stacks, fitted per user at enrollment:
+
+``"features"``
+    The Section V-A hand features: each probe's 36-d statistical
+    feature sample (SFS) is compared to the enrollment mean by a
+    robust per-dimension z-distance, ``mean(|sfs - mu| / s)`` with the
+    scale floored so low-variance dimensions cannot explode the score.
+    Genuine probes land near 1 (one enrollment standard deviation per
+    dimension on average); impostors drift upward.  The paper shows
+    SFSes cannot carry 34-way identification — but the cascade only
+    needs them to flag *clear-cut* binary cases, and the calibrated
+    band keeps everything ambiguous on the full pipeline.
+
+``"cnn"``
+    A truncated single-branch CNN head sharing the production
+    weights: the probe's positive-direction plane runs through the
+    first conv block of the extractor's positive branch only
+    (Conv + BatchNorm + ReLU — one of six conv blocks, no flatten/FC),
+    the activation is mean-pooled over width into a ``(c1 * 6,)``
+    sketch, and the score is the cosine distance to the enrollment
+    mean sketch — the same [0, 2] space as full-pipeline distances.
+
+Scoring is wrapped in the ``cascade.stage1`` fault point and the
+``cascade_stage1`` latency span; an injected error propagates as a
+:class:`~repro.errors.TransientError` that callers translate into
+fallback-to-full-pipeline semantics (DESIGN.md §4k).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+
+from repro.config import CascadeConfig
+from repro.core.similarity import cosine_distance
+from repro.errors import VerificationError
+from repro.faults import runtime as faults
+from repro.ml.features import statistical_features_batch
+from repro.obs import runtime as obs
+
+#: Relative + absolute floor applied to the per-dimension SFS scale so
+#: a near-constant enrollment statistic cannot blow the z-distance up.
+_SCALE_FLOOR_REL = 0.05
+_SCALE_FLOOR_ABS = 1e-8
+
+
+@dataclasses.dataclass(frozen=True)
+class Stage1Reference:
+    """Per-user fitted stage-1 state (one of the two layouts).
+
+    Attributes:
+        kind: the scorer that fitted it (``"features"`` / ``"cnn"``).
+        center: enrollment mean — a 36-d SFS for ``"features"``, a
+            pooled conv sketch for ``"cnn"``.
+        scale: per-dimension robust scale (``"features"`` only).
+    """
+
+    kind: str
+    center: np.ndarray
+    scale: np.ndarray | None = None
+
+
+def _fit_features(signal_arrays: np.ndarray) -> Stage1Reference:
+    sfs = statistical_features_batch(signal_arrays)
+    center = sfs.mean(axis=0)
+    spread = sfs.std(axis=0)
+    scale = np.maximum(
+        spread, _SCALE_FLOOR_REL * np.abs(center) + _SCALE_FLOOR_ABS
+    )
+    return Stage1Reference(kind="features", center=center, scale=scale)
+
+
+def _score_features(
+    reference: Stage1Reference, signal_arrays: np.ndarray
+) -> np.ndarray:
+    sfs = statistical_features_batch(signal_arrays)
+    z = np.abs(sfs - reference.center[None, :]) / reference.scale[None, :]
+    return z.mean(axis=1)
+
+
+class Stage1Gate:
+    """Facade owning the per-user stage-1 references and the scorer.
+
+    Args:
+        config: the cascade section selecting the scorer.
+        model: the production extractor (the ``"cnn"`` scorer borrows
+            its first positive-branch conv block; unused otherwise).
+        frontend: the direction-splitting front end feeding that block.
+
+    Thread-safety mirrors the facade it serves: :meth:`fit_user` /
+    :meth:`drop_user` run under the device write lock, :meth:`scores`
+    under the read lock (eval-mode forwards are concurrency-safe), so
+    the internal dict lock only guards the reference map itself.
+    """
+
+    def __init__(self, config: CascadeConfig, model=None, frontend=None) -> None:
+        self.config = config
+        self._model = model
+        self._frontend = frontend
+        self._references: dict[str, Stage1Reference] = {}
+        self._lock = threading.Lock()
+
+    # -- reference lifecycle -------------------------------------------
+
+    def fit_user(self, user_id: str, signal_arrays: np.ndarray) -> None:
+        """Fit the user's reference from enrollment signal arrays."""
+        signal_arrays = np.asarray(signal_arrays, dtype=np.float64)
+        if signal_arrays.ndim != 3 or signal_arrays.shape[0] == 0:
+            raise VerificationError(
+                "stage-1 fitting needs a non-empty (K, 6, n) signal stack"
+            )
+        if self.config.stage1 == "features":
+            reference = _fit_features(signal_arrays)
+        else:
+            sketches = self._cnn_sketches(signal_arrays)
+            reference = Stage1Reference(kind="cnn", center=sketches.mean(axis=0))
+        with self._lock:
+            self._references[user_id] = reference
+
+    def drop_user(self, user_id: str) -> None:
+        with self._lock:
+            self._references.pop(user_id, None)
+
+    def has_user(self, user_id: str) -> bool:
+        with self._lock:
+            return user_id in self._references
+
+    # -- scoring --------------------------------------------------------
+
+    def scores(self, user_id: str, signal_arrays: np.ndarray) -> np.ndarray:
+        """Stage-1 scores ``(K,)`` for a stack of preprocessed signals.
+
+        Raises:
+            repro.errors.VerificationError: no reference is fitted for
+                ``user_id``.
+            repro.errors.TransientError: an injected ``cascade.stage1``
+                fault fired; callers fall back to the full pipeline.
+        """
+        with self._lock:
+            reference = self._references.get(user_id)
+        if reference is None:
+            raise VerificationError(
+                f"no stage-1 reference fitted for user {user_id!r}"
+            )
+        faults.maybe_delay("cascade.stage1")
+        faults.maybe_fail("cascade.stage1")
+        with obs.span("cascade_stage1"):
+            signal_arrays = np.asarray(signal_arrays, dtype=np.float64)
+            if reference.kind == "features":
+                return _score_features(reference, signal_arrays)
+            sketches = self._cnn_sketches(signal_arrays)
+            return np.array(
+                [cosine_distance(sketch, reference.center) for sketch in sketches]
+            )
+
+    def _cnn_sketches(self, signal_arrays: np.ndarray) -> np.ndarray:
+        """Pooled first-conv-block activations ``(K, c1 * 6)``.
+
+        Runs the front end plus exactly one of the extractor's six
+        conv blocks (positive branch only) — the truncated head whose
+        cost the bench reports against the full forward.
+        """
+        if self._model is None or self._frontend is None:
+            raise VerificationError(
+                "the 'cnn' stage-1 scorer needs the extractor and front end"
+            )
+        features = self._frontend.transform_batch(signal_arrays)
+        x = features[:, 0:1, :, :]
+        model = self._model
+        # Same eval discipline as extract_embeddings: BatchNorm must
+        # use running statistics and nothing may cache activations.
+        was_training = model.training
+        model.eval()
+        try:
+            for layer in model.branch_pos.layers[:3]:
+                x = layer(x)
+        finally:
+            if was_training:
+                model.train()
+        return x.mean(axis=3).reshape(x.shape[0], -1)

@@ -260,6 +260,10 @@ class ShardedGallery:
         obs.set_gauge("gallery_users", self._alive_count)
         obs.set_gauge("gallery_shards", len(self._shards))
         obs.set_gauge("gallery_tombstones", self._tombstone_count)
+        obs.set_gauge(
+            "gallery_bytes",
+            float(sum(shard.nbytes() for shard in self._shards)),
+        )
 
     # -- introspection --------------------------------------------------
 

@@ -48,8 +48,28 @@ def statistical_features(signal_array: np.ndarray) -> np.ndarray:
 
 
 def statistical_features_batch(signal_arrays: np.ndarray) -> np.ndarray:
-    """SFS matrix ``(B, 36)`` for a batch of ``(B, 6, n)`` signal arrays."""
+    """SFS matrix ``(B, 36)`` for a batch of ``(B, 6, n)`` signal arrays.
+
+    Vectorised over the whole batch (each statistic reduces along the
+    sample axis once), but laid out axis-major exactly like
+    :func:`statistical_features` — row ``b`` equals
+    ``statistical_features(signal_arrays[b])`` bit for bit, which the
+    equivalence test pins.
+    """
     signal_arrays = np.asarray(signal_arrays, dtype=np.float64)
     if signal_arrays.ndim != 3:
         raise ValueError("expected (B, 6, n)")
-    return np.stack([statistical_features(s) for s in signal_arrays])
+    if signal_arrays.shape[1] != NUM_AXES:
+        raise ValueError(f"expected (B, 6, n), got {signal_arrays.shape}")
+    stats = np.stack(
+        [
+            signal_arrays.mean(axis=-1),
+            np.median(signal_arrays, axis=-1),
+            signal_arrays.var(axis=-1),
+            signal_arrays.std(axis=-1),
+            np.percentile(signal_arrays, 75, axis=-1),
+            np.percentile(signal_arrays, 25, axis=-1),
+        ],
+        axis=-1,
+    )
+    return stats.reshape(signal_arrays.shape[0], NUM_AXES * len(FEATURE_NAMES))

@@ -34,6 +34,11 @@ Embedding: TypeAlias = np.ndarray
 
 AXIS_NAMES: tuple[str, ...] = ("ax", "ay", "az", "gx", "gy", "gz")
 NUM_AXES: int = 6
+
+#: Valid ``VerificationResult.exit_stage`` provenance values.
+EXIT_STAGES: frozenset[str] = frozenset(
+    {"full", "stage1", "stage2", "stage2_forced", "refused"}
+)
 ACCEL_AXES: tuple[int, int, int] = (0, 1, 2)
 GYRO_AXES: tuple[int, int, int] = (3, 4, 5)
 
@@ -91,6 +96,16 @@ class VerificationResult:
             fell back to the slow per-user path (DESIGN.md §4g).  A
             degraded accept is still an accept, but callers with strict
             security postures may treat it as a step-up trigger.
+        exit_stage: which stage of the early-exit cascade produced the
+            decision (DESIGN.md §4k).  ``"full"`` — the plain pipeline
+            (cascade disabled, bypassed, or fallen back to);
+            ``"stage1"`` — a clear-cut early exit, in which case
+            ``distance`` is the stage-1 confidence score and
+            ``threshold`` the accept-band edge it was held against;
+            ``"stage2"`` — a borderline probe that paid the full
+            extractor; ``"stage2_forced"`` — an audit sample forced
+            through stage 2; ``"refused"`` — the recording never
+            produced a signal, so no cascade stage ran.
     """
 
     accepted: bool
@@ -98,10 +113,13 @@ class VerificationResult:
     threshold: float
     user_id: str
     degraded: bool = False
+    exit_stage: str = "full"
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.distance):
             raise ValueError(f"non-finite distance: {self.distance}")
+        if self.exit_stage not in EXIT_STAGES:
+            raise ValueError(f"unknown exit_stage: {self.exit_stage!r}")
 
 
 def ensure_raw_recording(arr: np.ndarray) -> np.ndarray:

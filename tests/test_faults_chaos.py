@@ -682,6 +682,7 @@ class TestChaosSchedules:
             "serve.queue",
             "serve.worker",
             "stream.push",
+            "cascade.stage1",
         }
 
     @pytest.mark.parametrize("seed", range(12))

@@ -47,3 +47,40 @@ class TestStatisticalFeatures:
     def test_batch_rejects_wrong_ndim(self, rng):
         with pytest.raises(ValueError):
             statistical_features_batch(rng.normal(size=(6, 60)))
+
+    def test_batch_rejects_wrong_axis_count(self, rng):
+        with pytest.raises(ValueError):
+            statistical_features_batch(rng.normal(size=(4, 5, 60)))
+
+    def test_deterministic(self, rng):
+        arrays = rng.normal(size=(3, 6, 60))
+        first = statistical_features_batch(arrays)
+        second = statistical_features_batch(arrays.copy())
+        np.testing.assert_array_equal(first, second)
+
+    def test_batch_is_bitwise_equal_to_single(self, rng):
+        # The cascade's stage-1 gate depends on the vectorized batch
+        # path matching the per-item reference bit for bit.
+        arrays = rng.normal(size=(8, 6, 105))
+        batch = statistical_features_batch(arrays)
+        for i, array in enumerate(arrays):
+            np.testing.assert_array_equal(batch[i], statistical_features(array))
+
+    def test_nan_stays_in_its_own_item(self, rng):
+        arrays = rng.normal(size=(3, 6, 60))
+        arrays[1, 2, 10] = np.nan
+        batch = statistical_features_batch(arrays)
+        assert np.isfinite(batch[0]).all()
+        assert np.isnan(batch[1]).any()
+        assert np.isfinite(batch[2]).all()
+
+    def test_dead_axis_yields_finite_zero_features(self, rng):
+        array = rng.normal(size=(6, 60))
+        array[3] = 0.0  # sensor dropout: one axis flat
+        sfs = statistical_features(array)
+        assert np.isfinite(sfs).all()
+        np.testing.assert_array_equal(sfs[18:24], np.zeros(6))
+
+    def test_empty_batch(self):
+        batch = statistical_features_batch(np.empty((0, 6, 60)))
+        assert batch.shape == (0, 36)
