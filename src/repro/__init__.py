@@ -24,6 +24,7 @@ from repro.config import (
     DEFAULT_CONFIG,
     DecisionConfig,
     ExtractorConfig,
+    FusionConfig,
     InferenceConfig,
     MandiPassConfig,
     PreprocessConfig,
@@ -58,7 +59,12 @@ from repro.dsp import Preprocessor
 from repro.errors import ReproError
 from repro.obs import MetricsRegistry
 from repro.imu import IDEAL_IMU, MPU6050, MPU9250, Recorder
-from repro.physio import PersonProfile, RecordingCondition, sample_population
+from repro.physio import (
+    HeartbeatVerifier,
+    PersonProfile,
+    RecordingCondition,
+    sample_population,
+)
 from repro.security import CancelableTransform, SecureEnclave
 from repro.serve import AuthFuture, AuthServer, RequestStatus
 from repro.stream import SessionDecision, SessionState, StreamSession
@@ -81,7 +87,9 @@ __all__ = [
     "EarSide",
     "ExitPolicy",
     "ExtractorConfig",
+    "FusionConfig",
     "Gender",
+    "HeartbeatVerifier",
     "IDEAL_IMU",
     "InferenceConfig",
     "InferenceEngine",

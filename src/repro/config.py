@@ -35,11 +35,18 @@ class SamplingConfig:
         internal_rate_hz: rate of the continuous-time physiological
             simulation before sensor sampling.  Must be an integer
             multiple of ``rate_hz``.
+        utterance_s: how long the voiced 'EMM' lasts from its onset.
+            ``None`` (default) sustains voicing to the end of the trial
+            -- the paper's short-trial behaviour, and bitwise identical
+            to the pre-knob synthesis.  A value shorter than the trial
+            leaves a silent post-utterance tail, which longer fused
+            captures use to expose the cardiac channel (DESIGN.md §4l).
     """
 
     rate_hz: int = 350
     duration_s: float = 0.6
     internal_rate_hz: int = 2800
+    utterance_s: float | None = None
 
     def __post_init__(self) -> None:
         _require(self.rate_hz > 0, "rate_hz must be positive")
@@ -47,6 +54,11 @@ class SamplingConfig:
         _require(
             self.internal_rate_hz % self.rate_hz == 0,
             "internal_rate_hz must be a multiple of rate_hz",
+        )
+        _require(
+            self.utterance_s is None
+            or 0.0 < self.utterance_s <= self.duration_s,
+            "utterance_s must lie in (0, duration_s] when given",
         )
 
     @property
@@ -538,6 +550,69 @@ class StreamConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class FusionConfig:
+    """Multi-modal fusion policy (:mod:`repro.core.fusion`, DESIGN.md §4l).
+
+    The same in-ear accelerometer that captures the 'EMM' mandible
+    vibration also carries the wearer's cardiac micro-vibration
+    (:mod:`repro.physio.heartbeat`).  With fusion enabled *and* a
+    heartbeat template enrolled, :meth:`MandiPass.verify_fused
+    <repro.core.system.MandiPass.verify_fused>` combines the two
+    modalities; disabled (the default), or without a heartbeat
+    template, ``verify_fused`` returns the plain :meth:`verify` result
+    object unchanged -- bitwise parity, the same pattern as the
+    cascade.
+
+    Attributes:
+        enabled: turn multi-modal fusion on for ``verify_fused``.
+        mode: ``"score"`` fuses threshold-normalised distances with a
+            weighted sum (accept iff the fused score clears 1.0);
+            ``"decision"`` fuses the per-modality accept/reject
+            decisions with ``rule``.
+        rule: decision-level combination -- ``"and"`` (every modality
+            must accept), ``"or"`` (one acceptance suffices) or
+            ``"vote"`` (weighted majority).
+        imu_weight / heartbeat_weight: relative modality weights for
+            the score-level sum and the weighted vote.  Calibrate with
+            :func:`repro.core.fusion.calibrated_fusion_weights`.
+        heartbeat_threshold: decision threshold of the heartbeat
+            verifier (same accept-iff-at-most convention as the IMU
+            threshold; calibrate via :mod:`repro.eval.calibration`).
+        heartbeat_scoring: ``"cosine"`` scores beat-morphology cosine
+            distance against the template; ``"z"`` scores the mean
+            per-dimension z-distance using the enrollment spread.
+    """
+
+    enabled: bool = False
+    mode: str = "score"
+    rule: str = "and"
+    imu_weight: float = 1.0
+    heartbeat_weight: float = 1.0
+    heartbeat_threshold: float = 0.32
+    heartbeat_scoring: str = "cosine"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.mode in ("score", "decision"),
+            "mode must be 'score' or 'decision'",
+        )
+        _require(
+            self.rule in ("and", "or", "vote"),
+            "rule must be 'and', 'or' or 'vote'",
+        )
+        _require(self.imu_weight > 0, "imu_weight must be positive")
+        _require(self.heartbeat_weight > 0, "heartbeat_weight must be positive")
+        _require(
+            0.0 < self.heartbeat_threshold < 2.0,
+            "heartbeat_threshold is a cosine-like distance in (0, 2)",
+        )
+        _require(
+            self.heartbeat_scoring in ("cosine", "z"),
+            "heartbeat_scoring must be 'cosine' or 'z'",
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class SecurityConfig:
     """Cancelable-template parameters (Section VI)."""
 
@@ -582,6 +657,7 @@ class MandiPassConfig:
     gallery: GalleryConfig = dataclasses.field(default_factory=GalleryConfig)
     stream: StreamConfig = dataclasses.field(default_factory=StreamConfig)
     cascade: CascadeConfig = dataclasses.field(default_factory=CascadeConfig)
+    fusion: FusionConfig = dataclasses.field(default_factory=FusionConfig)
 
     def __post_init__(self) -> None:
         _require(

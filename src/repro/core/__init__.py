@@ -22,9 +22,12 @@ from repro.core.frontend import (
     make_frontend,
 )
 from repro.core.fusion import (
+    calibrated_fusion_weights,
+    fuse_decision_level,
     fuse_majority,
     fuse_mean_distance,
     fuse_min_distance,
+    fuse_score_level,
     fused_error_rates,
 )
 from repro.core.mandibleprint import extract_embeddings
@@ -41,9 +44,12 @@ __all__ = [
     "MandiPass",
     "RectifiedSpectralFrontEnd",
     "TemplateGallery",
+    "calibrated_fusion_weights",
+    "fuse_decision_level",
     "fuse_majority",
     "fuse_mean_distance",
     "fuse_min_distance",
+    "fuse_score_level",
     "fused_error_rates",
     "make_frontend",
     "TrainingHistory",

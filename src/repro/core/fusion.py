@@ -1,15 +1,28 @@
-"""Multi-probe decision fusion.
+"""Multi-probe and multi-modal decision fusion.
 
 One 'EMM' costs 0.2 s of signal, so a deployment can cheaply ask for
-two or three before unlocking anything valuable.  This module provides
-the standard fusion rules over a sequence of verification results, plus
-an analytical helper showing what fusion does to FAR/FRR.
+two or three before unlocking anything valuable.  The first half of
+this module provides the standard fusion rules over a sequence of
+verification results from *one* modality, plus an analytical helper
+showing what fusion does to FAR/FRR.
+
+The second half fuses *across* modalities (DESIGN.md §4l): the IMU
+MandiblePrint decision and the cardiac micro-vibration decision from
+:mod:`repro.physio.heartbeat`.  Because the modalities run at different
+thresholds, their distances are first normalised to ``distance /
+threshold`` (1.0 = each modality's own operating point), then combined
+either at score level (weighted mean of normalised scores, accept iff
+<= 1) or at decision level (AND / OR / weighted vote).  Per-modality
+weights can be calibrated from measured error rates with
+:func:`calibrated_fusion_weights`.
 
 All rules consume :class:`~repro.types.VerificationResult` objects from
-the same user/template and produce a fused result.
+the same user and produce a fused result.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -111,3 +124,142 @@ def fused_error_rates(
     else:
         raise ConfigError("rule must be 'majority', 'all' or 'any'")
     return float(fused_frr), float(fused_far)
+
+
+# ----------------------------------------------------------------------
+# multi-modal fusion (IMU MandiblePrint x cardiac channel)
+# ----------------------------------------------------------------------
+
+
+def _check_modalities(
+    results: list[VerificationResult], weights: list[float] | None
+) -> list[float]:
+    """Validate a cross-modal result list; return effective weights.
+
+    Unlike :func:`_check_results`, thresholds may differ (each modality
+    has its own operating point) but every result must still target the
+    same user, and weights -- when given -- must match one-to-one and
+    be positive.
+    """
+    if not results:
+        raise ShapeError("need at least one verification result")
+    users = {r.user_id for r in results}
+    if len(users) != 1:
+        raise ShapeError(f"results target different users: {sorted(users)}")
+    if weights is None:
+        return [1.0] * len(results)
+    if len(weights) != len(results):
+        raise ShapeError(
+            f"got {len(weights)} weights for {len(results)} results"
+        )
+    if any(not math.isfinite(w) or w <= 0.0 for w in weights):
+        raise ConfigError("fusion weights must be positive and finite")
+    return [float(w) for w in weights]
+
+
+def _normalized_scores(results: list[VerificationResult]) -> list[float]:
+    """Per-modality ``distance / threshold``: 1.0 is the operating point."""
+    return [r.distance / r.threshold for r in results]
+
+
+def fuse_score_level(
+    results: list[VerificationResult],
+    weights: list[float] | None = None,
+) -> VerificationResult:
+    """Weighted score-level fusion across modalities.
+
+    Each result's distance is normalised by its own threshold, the
+    normalised scores are averaged with ``weights``, and the fused
+    result accepts iff the weighted mean is <= 1.0 (reported as the
+    fused ``distance`` against a fused ``threshold`` of 1.0).  The
+    fused score is monotone (strictly increasing) in every component
+    distance, so no modality can be silently ignored.
+    """
+    weights = _check_modalities(results, weights)
+    scores = _normalized_scores(results)
+    total = sum(weights)
+    fused = sum(w * s for w, s in zip(weights, scores)) / total
+    return VerificationResult(
+        accepted=fused <= 1.0,
+        distance=float(fused),
+        threshold=1.0,
+        user_id=results[0].user_id,
+        degraded=any(r.degraded for r in results),
+    )
+
+
+def fuse_decision_level(
+    results: list[VerificationResult],
+    rule: str = "and",
+    weights: list[float] | None = None,
+) -> VerificationResult:
+    """Decision-level fusion across modalities.
+
+    Rules:
+
+    * ``"and"`` -- accept iff every modality accepted.  Equivalently
+      the *worst* normalised score decides, which is what the fused
+      distance reports (``max``).  Lowers FAR, raises FRR: the right
+      rule when an attacker must defeat every channel (e.g. replaying
+      a stolen template cannot fake a live heartbeat).
+    * ``"or"`` -- accept iff any modality accepted (``min``).  Lowers
+      FRR: the right rule when modalities fail independently (a noisy
+      cardiac read should not lock the user out).
+    * ``"vote"`` -- weighted majority: accept iff the accepting
+      modalities hold more than half the total weight.  The fused
+      distance reports the weighted mean of normalised scores, which
+      is advisory (the votes, not the mean, decide).
+    """
+    weights = _check_modalities(results, weights)
+    scores = _normalized_scores(results)
+    if rule == "and":
+        fused = max(scores)
+        accepted = all(r.accepted for r in results)
+    elif rule == "or":
+        fused = min(scores)
+        accepted = any(r.accepted for r in results)
+    elif rule == "vote":
+        total = sum(weights)
+        in_favour = sum(w for w, r in zip(weights, results) if r.accepted)
+        fused = sum(w * s for w, s in zip(weights, scores)) / total
+        accepted = in_favour * 2.0 > total
+    else:
+        raise ConfigError("rule must be 'and', 'or' or 'vote'")
+    return VerificationResult(
+        accepted=accepted,
+        distance=float(fused),
+        threshold=1.0,
+        user_id=results[0].user_id,
+        degraded=any(r.degraded for r in results),
+    )
+
+
+def calibrated_fusion_weights(
+    error_rates: list[tuple[float, float]],
+    floor: float = 1e-3,
+) -> list[float]:
+    """Log-odds weights from measured per-modality error rates.
+
+    Args:
+        error_rates: ``(far, frr)`` per modality, e.g. from
+            :func:`repro.eval.calibration.operating_point`.
+        floor: rates are clipped into ``[floor, 1 - floor]`` so a
+            perfect (or useless) modality yields a finite weight.
+
+    Returns:
+        Positive weights proportional to ``log((1 - err) / err)`` with
+        ``err = (far + frr) / 2`` -- the Chair-Varshney optimal weight
+        for independent binary channels.  A modality at chance
+        (``err = 0.5``) gets (near-)zero weight; weights are floored
+        slightly above zero so :func:`fuse_score_level` stays monotone
+        in every component.
+    """
+    if not error_rates:
+        raise ShapeError("need at least one (far, frr) pair")
+    weights = []
+    for far, frr in error_rates:
+        if not 0.0 <= far <= 1.0 or not 0.0 <= frr <= 1.0:
+            raise ConfigError("rates must lie in [0, 1]")
+        err = min(max((far + frr) / 2.0, floor), 1.0 - floor)
+        weights.append(max(math.log((1.0 - err) / err), floor))
+    return weights

@@ -79,6 +79,10 @@ def verify_batch(
             threshold=threshold,
             user_id=user_id,
             degraded=idx in degraded,
+            # A recording that never produced an embedding is a refusal
+            # (failure to acquire), same provenance the cascade path
+            # reports; fusion treats the modality as absent.
+            exit_stage="full" if ok[idx] else "refused",
         )
         for idx, d in enumerate(distances)
     ]

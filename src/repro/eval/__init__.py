@@ -29,9 +29,25 @@ from repro.eval.pairs import genuine_impostor_distances
 from repro.eval.protocol import EmbeddingProtocolResult, run_embedding_protocol
 from repro.eval.distributions import distance_distribution, vsr_against_templates
 from repro.eval.reporting import render_series, render_table
+from repro.eval.scenarios import (
+    DegradationSpec,
+    Scenario,
+    degrade_recording,
+    run_attacks,
+    run_scenario_bench,
+    run_scenario_matrix,
+    scenario_grid,
+)
 from repro.eval.scorenorm import TNorm, ZNorm, normalized_pair_distances
 
 __all__ = [
+    "DegradationSpec",
+    "Scenario",
+    "degrade_recording",
+    "run_attacks",
+    "run_scenario_bench",
+    "run_scenario_matrix",
+    "scenario_grid",
     "EmbeddingProtocolResult",
     "OperatingPoint",
     "calibrate_far",

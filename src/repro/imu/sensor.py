@@ -178,7 +178,11 @@ class IMUSensor:
         for trial in range(num_trials):
             onset = float(rng.uniform(0.10, 0.25))
             pulses, phase = voice.synthesize_with_phase(
-                cfg.duration_s, internal, rng, onset_s=onset
+                cfg.duration_s,
+                internal,
+                rng,
+                onset_s=onset,
+                voiced_s=cfg.utterance_s,
             )
             forcing[trial] = oscillator.signed_forcing(pulses, phase)
             # Trial-level effort variation: people do not voice at the

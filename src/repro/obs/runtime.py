@@ -160,6 +160,28 @@ model_bytes                  gauge      ``dtype``: float32 (the live
 gallery_bytes                gauge      --  (derived 1:N scoring state,
                                             all shards)
 ===========================  =========  =================================
+
+The multi-modal fusion layer and the adversarial scenario matrix
+(:mod:`repro.core.fusion`, :mod:`repro.eval.scenarios`, DESIGN.md §4l)
+add:
+
+===========================  =========  =================================
+name                         kind       labels
+===========================  =========  =================================
+fusion_decisions_total       counter    ``mode``: score, decision,
+                                        fallback (one modality refused);
+                                        ``decision``: accept, reject
+scenario_cells_total         counter    --  (matrix cells evaluated)
+scenario_eer                 gauge      ``scenario`` (motion+degradation
+                                        cell), ``modality``: imu,
+                                        heartbeat, fused
+scenario_far                 gauge      ``scenario``, ``modality`` (at
+                                        the clean-cell calibrated
+                                        threshold)
+scenario_frr                 gauge      ``scenario``, ``modality``
+scenario_attack_far          gauge      ``attack``: replay, mimicry;
+                                        ``modality``
+===========================  =========  =================================
 """
 
 from __future__ import annotations

@@ -84,6 +84,14 @@ _ACTIVITY_GAIT = {
     Activity.RUN: (2.9, 3.5),
 }
 
+# Driving: engine firing frequency (Hz) and component amplitudes
+# (m/s^2).  ~1600 rpm idle on a 4-cylinder fires near 27 Hz -- *above*
+# the 20 Hz high-pass, so unlike gait it is not filtered out.
+_DRIVE_ENGINE_HZ = 27.0
+_DRIVE_ENGINE_AMP = 0.35
+_DRIVE_ROAD_AMP = 0.9
+_DRIVE_BUMP_AMP = 2.2
+
 
 def perturb_person(
     person: PersonProfile,
@@ -161,6 +169,8 @@ def motion_noise(
     out = np.zeros((num_samples, 3))
     if condition.activity is Activity.STATIC or num_samples == 0:
         return out
+    if condition.activity is Activity.DRIVE:
+        return _drive_noise(num_samples, rate_hz, rng)
     step_hz, amp = _ACTIVITY_GAIT[condition.activity]
     t = np.arange(num_samples) / rate_hz
     phase = 2.0 * np.pi * step_hz * t + rng.uniform(0.0, 2.0 * np.pi)
@@ -190,4 +200,54 @@ def motion_noise(
     for idx in range(start, num_samples, period):
         stop = min(idx + strike_len, num_samples)
         out[idx:stop, 2] += 0.2 * amp * kernel[: stop - idx] * rng.normal(1.0, 0.2)
+    return out
+
+
+def _drive_noise(
+    num_samples: int, rate_hz: float, rng: np.random.Generator
+) -> np.ndarray:
+    """In-vehicle motion: engine hum, road rumble and pothole bumps.
+
+    The engine component is the adversarial part: a 4-cylinder near
+    idle fires around 27 Hz, squarely inside the 20-170 Hz band the
+    mandible vibration lives in, so the Section IV high-pass cannot
+    remove it the way it removes gait.  Road rumble stays below a few
+    Hz (filtered like gait); bumps are sparse broadband transients.
+    """
+    out = np.zeros((num_samples, 3))
+    t = np.arange(num_samples) / rate_hz
+
+    # Engine hum with slow rpm wobble, mostly vertical, some fore-aft.
+    wobble = 1.0 + 0.02 * np.sin(2.0 * np.pi * 0.4 * t + rng.uniform(0, 2 * np.pi))
+    phase = 2.0 * np.pi * _DRIVE_ENGINE_HZ * wobble * t + rng.uniform(0, 2 * np.pi)
+    engine = _DRIVE_ENGINE_AMP * (
+        np.sin(phase) + 0.35 * np.sin(2.0 * phase + rng.uniform(0, 2 * np.pi))
+    )
+    out[:, 2] += engine
+    out[:, 0] += 0.45 * _DRIVE_ENGINE_AMP * np.sin(
+        phase + rng.uniform(0, 2 * np.pi)
+    )
+
+    # Road rumble: low-passed white noise (suspension output, < ~3 Hz).
+    from scipy.signal import lfilter
+
+    alpha = float(np.clip(2.0 * np.pi * 2.5 / rate_hz, 0.0, 1.0))
+    for axis, gain in ((0, 0.5), (1, 0.35), (2, 1.0)):
+        rumble = lfilter(
+            [alpha], [1.0, alpha - 1.0], rng.normal(0.0, 1.0, size=num_samples)
+        )
+        out[:, axis] += _DRIVE_ROAD_AMP * gain * rumble
+
+    # Potholes: sparse decaying transients, a couple per ~5 s of road.
+    bump_len = max(int(round(0.10 * rate_hz)), 2)
+    kernel = np.exp(-np.arange(bump_len) / (0.03 * rate_hz + 1e-9)) * np.sin(
+        2.0 * np.pi * 9.0 * np.arange(bump_len) / rate_hz
+    )
+    expected = max(int(round(num_samples / rate_hz / 2.5)), 1)
+    for _ in range(int(rng.poisson(expected))):
+        idx = int(rng.integers(0, num_samples))
+        stop = min(idx + bump_len, num_samples)
+        out[idx:stop, 2] += _DRIVE_BUMP_AMP * kernel[: stop - idx] * rng.normal(
+            1.0, 0.25
+        )
     return out

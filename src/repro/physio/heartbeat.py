@@ -1,0 +1,636 @@
+"""Cardiac micro-vibration channel: the in-ear heartbeat biometric.
+
+The same accelerometer that captures the 'EMM' mandible vibration also
+carries the wearer's ballistocardiogram: each heartbeat launches a
+recoil impulse (S1, the ventricular ejection, followed by S2, the
+valve closure) that travels the chest -> skull -> ear bone path and
+arrives as a tens-of-milli-g micro-vibration.  AccLock (PAPERS.md)
+shows this channel is itself a biometric; here it is synthesised from
+the same per-person substrate the mandible model uses and fused with
+the MandiblePrint through :mod:`repro.core.fusion` (DESIGN.md §4l).
+
+Three pieces:
+
+* :class:`CardiacProfile` -- per-person cardiac morphology, derived
+  deterministically from the :class:`~repro.physio.person.PersonProfile`
+  (stable across sessions, like the biomechanical parameters);
+* :class:`HeartbeatGenerator` -- synthesises the S1/S2 impulse train,
+  colours it through the person's ear-coupling response and the bone
+  propagation path, and emits a 6-axis waveform that rides *additively*
+  on the ordinary IMU capture (``Recorder(heartbeat=True)``);
+* :class:`HeartbeatVerifier` -- extracts folded-beat morphology
+  features (EMM region masked out via its 60-170 Hz energy), averages
+  them into a per-user template and scores cosine or z-distance with
+  the same accept-iff-at-most convention as the IMU pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+
+import numpy as np
+
+from repro.errors import ConfigError, EnrollmentError, SignalError, VerificationError
+from repro.physio.person import PersonProfile
+from repro.physio.propagation import PropagationModel
+from repro.types import Activity, RawRecording, VerificationResult, ensure_raw_recording
+
+#: Maximal distance reported for recordings with no usable heartbeat
+#: (mirrors ``repro.core.verification.REJECTED_DISTANCE``).
+REJECTED_DISTANCE = 2.0
+
+#: Heart-rate elevation per activity (resting multiplier).
+_ACTIVITY_HR = {
+    Activity.STATIC: 1.0,
+    Activity.WALK: 1.35,
+    Activity.RUN: 1.75,
+    Activity.DRIVE: 1.05,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CardiacProfile:
+    """Per-person cardiac morphology, a deterministic function of the person.
+
+    Attributes:
+        person_id: whose heart this is.
+        rest_rate_bpm: resting heart rate.
+        hrv_frac: beat-to-beat RR-interval variability (fractional std).
+        s1_freq_hz / s1_decay_s: ring frequency and decay of the S1
+            (ejection) transient at the ear.
+        s2_freq_hz / s2_decay_s: the same for the S2 (valve-closure)
+            transient -- higher pitched and shorter.
+        s2_delay_s: systolic S1->S2 interval.
+        s2_ratio: S2 amplitude relative to S1.
+        resp_rate_hz / resp_depth: respiratory amplitude modulation.
+        amplitude_ms2: peak BCG acceleration at the chest before the
+            bone path attenuates it.
+        coupling: unit 3-vector mapping the (mostly head-axis) recoil
+            onto the accelerometer axes.
+        gyro_amp_rad_s: peak head-nod angular rate per beat.
+        gyro_coupling: unit 3-vector onto the gyroscope axes.
+    """
+
+    person_id: str
+    rest_rate_bpm: float
+    hrv_frac: float
+    s1_freq_hz: float
+    s1_decay_s: float
+    s2_freq_hz: float
+    s2_decay_s: float
+    s2_delay_s: float
+    s2_ratio: float
+    resp_rate_hz: float
+    resp_depth: float
+    amplitude_ms2: float
+    coupling: np.ndarray
+    gyro_amp_rad_s: float
+    gyro_coupling: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not 30.0 <= self.rest_rate_bpm <= 200.0:
+            raise ConfigError("rest_rate_bpm must lie in [30, 200]")
+        if not 0.0 <= self.hrv_frac <= 0.3:
+            raise ConfigError("hrv_frac must lie in [0, 0.3]")
+        for name in ("s1_freq_hz", "s2_freq_hz"):
+            if not 5.0 <= getattr(self, name) <= 60.0:
+                raise ConfigError(f"{name} must lie in [5, 60]")
+        for name in ("s1_decay_s", "s2_decay_s"):
+            if not 0.005 <= getattr(self, name) <= 0.2:
+                raise ConfigError(f"{name} must lie in [0.005, 0.2]")
+        if not 0.1 <= self.s2_delay_s <= 0.5:
+            raise ConfigError("s2_delay_s must lie in [0.1, 0.5]")
+        if not 0.0 <= self.s2_ratio <= 1.5:
+            raise ConfigError("s2_ratio must lie in [0, 1.5]")
+        if self.resp_rate_hz <= 0 or not 0.0 <= self.resp_depth <= 0.5:
+            raise ConfigError("respiration parameters out of range")
+        if self.amplitude_ms2 <= 0 or self.gyro_amp_rad_s < 0:
+            raise ConfigError("amplitudes must be non-negative (BCG positive)")
+        for name in ("coupling", "gyro_coupling"):
+            vec = np.asarray(getattr(self, name), dtype=np.float64)
+            if vec.shape != (3,):
+                raise ConfigError(f"{name} must be a 3-vector")
+            norm = float(np.linalg.norm(vec))
+            if norm == 0.0:
+                raise ConfigError(f"{name} must be non-zero")
+            vec = vec / norm
+            vec.setflags(write=False)
+            object.__setattr__(self, name, vec)
+
+    @classmethod
+    def from_person(cls, person: PersonProfile) -> "CardiacProfile":
+        """Derive the cardiac morphology deterministically from a person.
+
+        The same person always yields the same heart (a biometric must
+        be stable), and distinct people decorrelate through a stable
+        hash of the person id.  The S1 ring frequency leans mildly on
+        the mandible's natural frequency: both are set by the same
+        skull/jaw structure the vibration crosses on its way up.
+        """
+        digest = zlib.crc32(f"cardiac|{person.person_id}".encode("utf-8"))
+        rng = np.random.default_rng(np.random.SeedSequence([digest]))
+        bone_factor = float(
+            np.clip((person.natural_frequency_hz / 100.0) ** 0.15, 0.85, 1.2)
+        )
+        s1_freq = float(np.clip(rng.uniform(16.0, 28.0) * bone_factor, 14.0, 34.0))
+        coupling = rng.normal(0.0, 1.0, size=3) * np.array([0.55, 0.55, 1.0])
+        coupling[2] += 0.9 * np.sign(coupling[2]) if coupling[2] else 0.9
+        gyro_coupling = rng.normal(0.0, 1.0, size=3)
+        return cls(
+            person_id=person.person_id,
+            rest_rate_bpm=float(rng.uniform(54.0, 86.0)),
+            hrv_frac=float(rng.uniform(0.02, 0.05)),
+            s1_freq_hz=s1_freq,
+            s1_decay_s=float(rng.uniform(0.030, 0.055)),
+            s2_freq_hz=float(np.clip(s1_freq * rng.uniform(1.35, 1.70), 20.0, 48.0)),
+            s2_decay_s=float(rng.uniform(0.022, 0.040)),
+            s2_delay_s=float(rng.uniform(0.26, 0.34)),
+            s2_ratio=float(rng.uniform(0.35, 0.65)),
+            resp_rate_hz=float(rng.uniform(0.18, 0.30)),
+            resp_depth=float(rng.uniform(0.06, 0.16)),
+            amplitude_ms2=float(rng.uniform(0.09, 0.19)),
+            coupling=coupling,
+            gyro_amp_rad_s=float(rng.uniform(3e-4, 9e-4)),
+            gyro_coupling=gyro_coupling,
+        )
+
+
+class HeartbeatGenerator:
+    """Synthesises the 6-axis cardiac micro-vibration at the ear.
+
+    Args:
+        propagation: body propagation model; the chest -> ear path is
+            bone-dominated (sternum, spine, skull), so attenuation uses
+            ``alpha_bone`` over ``heart_to_ear_m`` (Eq. 3 again).
+        heart_to_ear_m: length of that path.
+    """
+
+    def __init__(
+        self,
+        propagation: PropagationModel | None = None,
+        heart_to_ear_m: float = 0.35,
+    ) -> None:
+        if heart_to_ear_m <= 0:
+            raise ConfigError("heart_to_ear_m must be positive")
+        self.propagation = propagation or PropagationModel()
+        self.heart_to_ear_m = heart_to_ear_m
+
+    def path_gain(self) -> float:
+        """Amplitude gain of the chest -> skull -> ear bone path."""
+        return self.propagation.segment_gain(
+            self.propagation.alpha_bone, self.heart_to_ear_m
+        )
+
+    def beat_kernel(self, cardiac: CardiacProfile, rate_hz: float) -> np.ndarray:
+        """One beat's unit-peak S1 + S2 waveform at ``rate_hz``."""
+        if rate_hz <= 0:
+            raise ConfigError("rate_hz must be positive")
+        length_s = cardiac.s2_delay_s + 5.0 * cardiac.s2_decay_s
+        t = np.arange(int(round(length_s * rate_hz))) / rate_hz
+        s1 = np.exp(-t / cardiac.s1_decay_s) * np.sin(
+            2.0 * np.pi * cardiac.s1_freq_hz * t
+        )
+        t2 = t - cardiac.s2_delay_s
+        s2 = np.where(
+            t2 >= 0.0,
+            np.exp(-np.maximum(t2, 0.0) / cardiac.s2_decay_s)
+            * np.sin(2.0 * np.pi * cardiac.s2_freq_hz * np.maximum(t2, 0.0)),
+            0.0,
+        )
+        kernel = s1 + cardiac.s2_ratio * s2
+        peak = float(np.max(np.abs(kernel)))
+        if peak == 0.0:
+            raise ConfigError("degenerate beat kernel")
+        return kernel / peak
+
+    def synthesize(
+        self,
+        person: PersonProfile,
+        condition,
+        num_samples: int,
+        rate_hz: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """The cardiac waveform in physical units, shape ``(n, 6)``.
+
+        Accelerometer columns are m/s^2, gyroscope columns rad/s --
+        ready to be scaled by a device's sensitivities and added onto a
+        captured recording.  The activity of ``condition`` elevates the
+        heart rate (walking ~1.35x, running ~1.75x).
+        """
+        if num_samples <= 0:
+            raise ConfigError("num_samples must be positive")
+        cardiac = CardiacProfile.from_person(person)
+        activity = getattr(condition, "activity", Activity.STATIC)
+        hr_bpm = cardiac.rest_rate_bpm * _ACTIVITY_HR.get(activity, 1.0)
+        period_s = 60.0 / hr_bpm
+
+        # Beat onsets: a jittered renewal process (HRV), phase random
+        # per trial (the recording starts at an arbitrary point of the
+        # cardiac cycle).
+        duration_s = num_samples / rate_hz
+        onsets = []
+        t = float(rng.uniform(0.0, period_s))
+        while t < duration_s:
+            onsets.append(t)
+            step = period_s * float(
+                np.clip(1.0 + cardiac.hrv_frac * rng.normal(), 0.6, 1.5)
+            )
+            t += step
+        train = np.zeros(num_samples)
+        resp_phase = float(rng.uniform(0.0, 2.0 * np.pi))
+        for onset in onsets:
+            idx = int(round(onset * rate_hz))
+            if idx >= num_samples:
+                continue
+            resp = 1.0 + cardiac.resp_depth * np.sin(
+                2.0 * np.pi * cardiac.resp_rate_hz * onset + resp_phase
+            )
+            train[idx] = resp * float(1.0 + 0.04 * rng.normal())
+
+        kernel = self.beat_kernel(cardiac, rate_hz)
+        wave = np.convolve(train, kernel)[:num_samples]
+
+        # The arriving vibration crosses the same skull/jaw/earbud
+        # structure as the mandible signal: colour it with the person's
+        # ear-coupling response (lazy import -- repro.imu imports
+        # repro.physio, not the other way around at module scope).
+        from repro.imu.sensor import _ear_coupling_filter
+
+        wave = _ear_coupling_filter(wave, person, rate_hz)
+
+        scale = cardiac.amplitude_ms2 * self.path_gain()
+        out = np.zeros((num_samples, 6))
+        out[:, :3] = scale * wave[:, None] * cardiac.coupling
+        out[:, 3:] = cardiac.gyro_amp_rad_s * wave[:, None] * cardiac.gyro_coupling
+        return out
+
+    def counts(
+        self,
+        person: PersonProfile,
+        condition,
+        num_samples: int,
+        rate_hz: float,
+        device,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """The same waveform converted to raw counts for ``device``."""
+        phys = self.synthesize(person, condition, num_samples, rate_hz, rng)
+        out = np.empty_like(phys)
+        out[:, :3] = phys[:, :3] * device.accel_sensitivity
+        out[:, 3:] = phys[:, 3:] * device.gyro_sensitivity
+        return out
+
+
+class HeartbeatVerifier:
+    """Beat-morphology verification over the cardiac channel.
+
+    Template = the averaged folded-beat feature vector over the
+    enrollment recordings (plus its per-dimension spread for z-mode
+    scoring); scoring = cosine distance (default) or mean z-distance
+    squashed into the pipeline's ``(0, 2)`` convention.  Recordings
+    whose unmasked tail carries fewer than two clean beats refuse with
+    the maximal distance, mirroring the IMU pipeline's refusals.
+
+    Args:
+        rate_hz: IMU sampling rate of the recordings.
+        threshold: accept iff ``distance <= threshold``.
+        scoring: ``"cosine"`` or ``"z"``.
+        band_hz: cardiac band-pass (keeps S1/S2 rings, drops gravity,
+            gait and the bulk of the EMM energy).
+        beat_len: per-axis resampled beat length in the feature vector.
+    """
+
+    #: EMM-detection band: mandible harmonics/resonances live here, the
+    #: cardiac transients (< ~50 Hz) do not.
+    _MASK_BAND_HZ = (58.0, 168.0)
+
+    #: Beat candidates must reach this fraction of the strongest beat's
+    #: smoothed energy (respiration modulates beat amplitude, so the
+    #: cutoff must sit well below 1).
+    _PEAK_CUTOFF = 0.30
+
+    def __init__(
+        self,
+        rate_hz: int = 350,
+        threshold: float = 0.32,
+        scoring: str = "cosine",
+        band_hz: tuple[float, float] = (10.0, 48.0),
+        beat_len: int = 40,
+    ) -> None:
+        if rate_hz <= 0:
+            raise ConfigError("rate_hz must be positive")
+        if not 0.0 < threshold < 2.0:
+            raise ConfigError("threshold must lie in (0, 2)")
+        if scoring not in ("cosine", "z"):
+            raise ConfigError("scoring must be 'cosine' or 'z'")
+        low, high = band_hz
+        if not 0.0 < low < high < rate_hz / 2.0:
+            raise ConfigError("band_hz must satisfy 0 < low < high < Nyquist")
+        if beat_len < 4:
+            raise ConfigError("beat_len must be at least 4")
+        self.rate_hz = rate_hz
+        self.threshold = threshold
+        self.scoring = scoring
+        self.band_hz = band_hz
+        self.beat_len = beat_len
+        self._templates: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # feature extraction
+    # ------------------------------------------------------------------
+
+    def _sos(self, band: tuple[float, float]):
+        from scipy.signal import butter
+
+        return butter(2, band, btype="bandpass", fs=self.rate_hz, output="sos")
+
+    @staticmethod
+    def _smooth(values: np.ndarray, width: int) -> np.ndarray:
+        width = max(width, 1)
+        kernel = np.ones(width) / width
+        return np.convolve(values, kernel, mode="same")
+
+    @staticmethod
+    def _despike(accel: np.ndarray, keep: np.ndarray) -> np.ndarray:
+        """Hampel filter: clamp single-sample sensor glitches.
+
+        The device model injects sparse +/- hundreds-of-counts glitches
+        ('extremely large or small values', Section IV).  Band-passing
+        would smear each one into a ringing transient larger than the
+        cardiac signal, so outliers are replaced by the local median
+        first.  The beat waveform itself (< ~50 Hz, sampled at 350 Hz)
+        is smooth at the 5-sample scale and passes through untouched.
+        Samples where ``keep`` is True (the EMM region, whose fast
+        oscillation *looks* like wall-to-wall outliers to a median
+        filter) are left alone -- glitches there are masked out of beat
+        folding anyway.
+        """
+        from scipy.ndimage import median_filter
+
+        med = median_filter(accel, size=(1, 5), mode="nearest")
+        residual = accel - med
+        sigma = 1.4826 * np.median(
+            np.abs(residual), axis=1, keepdims=True
+        )
+        outlier = (np.abs(residual) > 6.0 * np.maximum(sigma, 1e-12)) & ~keep
+        return np.where(outlier, med, accel)
+
+    def _emm_mask(self, accel: np.ndarray, bp: np.ndarray) -> np.ndarray:
+        """True where the 'EMM' vibration dominates the recording.
+
+        The mandible signal is rich between ~60 and ~170 Hz (harmonic
+        comb plus resonances); the cardiac transients carry nothing
+        there.  A sample is masked when the high band's per-Hz energy
+        density clearly dominates the cardiac band's -- a ratio test,
+        so neither broadband sensor noise (densities equal) nor the
+        beats' own slight broadband leakage (cardiac density dominates)
+        trips it.  The mask is dilated so the decaying ring tails do
+        not leak into adjacent beat windows.
+        """
+        from scipy.signal import sosfiltfilt
+
+        high = min(self._MASK_BAND_HZ[1], 0.96 * self.rate_hz / 2.0)
+        emm = sosfiltfilt(self._sos((self._MASK_BAND_HZ[0], high)), accel, axis=1)
+        width = int(round(0.05 * self.rate_hz))
+        emm_density = self._smooth((emm**2).sum(axis=0), width) / (
+            high - self._MASK_BAND_HZ[0]
+        )
+        cardiac_density = self._smooth((bp**2).sum(axis=0), width) / (
+            self.band_hz[1] - self.band_hz[0]
+        )
+        floor = float(np.median(emm_density))
+        mask = (emm_density > 3.0 * cardiac_density) & (
+            emm_density > 10.0 * floor
+        )
+        dilate = int(round(0.12 * self.rate_hz))
+        if mask.any() and dilate:
+            mask = np.convolve(
+                mask.astype(np.float64), np.ones(2 * dilate + 1), mode="same"
+            ) > 0.0
+        return mask
+
+    def beat_features(self, recording: RawRecording) -> np.ndarray:
+        """Folded-beat morphology features of one recording.
+
+        Raises:
+            repro.errors.SignalError: when no usable heartbeat exists
+                (too short, fully masked, or fewer than two clean
+                beats).
+        """
+        from scipy.signal import sosfiltfilt
+
+        rec = ensure_raw_recording(recording)
+        num = rec.shape[0]
+        pre = int(round(0.10 * self.rate_hz))
+        post = int(round(0.38 * self.rate_hz))
+        if num < 3 * (pre + post):
+            raise SignalError("recording too short for heartbeat analysis")
+        accel = rec[:, :3].T
+        if not np.all(np.isfinite(accel)):
+            raise SignalError("non-finite accelerometer samples")
+
+        mask = self._emm_mask(
+            accel, sosfiltfilt(self._sos(self.band_hz), accel, axis=1)
+        )
+        accel = self._despike(accel, keep=mask[None, :])
+        bp = sosfiltfilt(self._sos(self.band_hz), accel, axis=1)
+        usable = ~mask
+        if usable.sum() < int(0.8 * self.rate_hz):
+            raise SignalError("no unmasked tail to read heartbeats from")
+
+        energy = self._smooth(
+            (bp**2).sum(axis=0), int(round(0.06 * self.rate_hz))
+        )
+        energy = np.where(usable, energy, 0.0)
+        peak_energy = float(energy.max())
+        if peak_energy <= 0.0:
+            raise SignalError("no cardiac-band energy in the recording")
+
+        refractory = int(round(0.33 * self.rate_hz))
+        cutoff = self._PEAK_CUTOFF * peak_energy
+        taken: list[int] = []
+        for idx in np.argsort(energy)[::-1]:
+            if energy[idx] < cutoff:
+                break
+            if all(abs(int(idx) - t) >= refractory for t in taken):
+                taken.append(int(idx))
+        margin = int(round(0.08 * self.rate_hz))
+        peaks = sorted(
+            t for t in taken if pre + margin <= t < num - post - margin
+        )
+        if len(peaks) < 2:
+            raise SignalError("fewer than two clean heartbeats detected")
+
+        mean_beat, peaks = self._fold(bp, peaks, pre, post, margin)
+        src = np.linspace(0.0, 1.0, mean_beat.shape[1])
+        dst = np.linspace(0.0, 1.0, self.beat_len)
+        morph = np.concatenate(
+            [np.interp(dst, src, mean_beat[axis]) for axis in range(3)]
+        )
+        norm = float(np.linalg.norm(morph))
+        if norm <= 0.0:
+            raise SignalError("degenerate beat morphology")
+        morph = morph / norm
+
+        rr = np.diff(peaks) / self.rate_hz
+        hr_bpm = 60.0 / float(rr.mean())
+        interval_feats = np.array(
+            [
+                0.5 * float(np.clip(hr_bpm, 30.0, 220.0)) / 220.0,
+                2.0 * float(np.clip(rr.std(), 0.0, 0.3)),
+            ]
+        )
+        return np.concatenate([morph, interval_feats])
+
+    def _fold(
+        self,
+        bp: np.ndarray,
+        peaks: list[int],
+        pre: int,
+        post: int,
+        margin: int,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Align the beat windows and fold them into a canonical mean.
+
+        The smoothed-energy peaks locate each beat only to within a few
+        tens of milliseconds -- enough jitter to flip the phase of the
+        ~20 Hz S1 ring and wash the averaged morphology out.  Two fixes:
+
+        * *mutual alignment*: each window is shifted (within ``margin``)
+          to maximise correlation with the running mean, iterated twice;
+        * *canonical anchor*: the averaged beat is re-extracted so its
+          dominant energy peak sits exactly at the ``pre`` mark, and its
+          global sign is flipped so that peak is positive.  Without
+          this, two recordings of the same heart could agree internally
+          yet sit half a ring period apart from each other.
+        """
+        num = bp.shape[1]
+
+        def extract(centres: list[int]) -> np.ndarray:
+            return np.stack([bp[:, p - pre : p + post] for p in centres])
+
+        centres = list(peaks)
+        for _ in range(2):
+            windows = extract(centres)
+            template = windows.mean(axis=0)
+            refined = []
+            for centre in centres:
+                best_lag, best_score = 0, -np.inf
+                for lag in range(-margin, margin + 1):
+                    lo, hi = centre + lag - pre, centre + lag + post
+                    if lo < 0 or hi > num:
+                        continue
+                    score = float(np.sum(bp[:, lo:hi] * template))
+                    if score > best_score:
+                        best_lag, best_score = lag, score
+                refined.append(centre + best_lag)
+            centres = refined
+
+        mean_beat = extract(centres).mean(axis=0)
+        anchor = int(np.argmax((mean_beat**2).sum(axis=0)))
+        shift = anchor - pre
+        shifted = [
+            c + shift
+            for c in centres
+            if pre <= c + shift and c + shift + post <= num
+        ]
+        if len(shifted) >= 2:
+            centres = shifted
+            mean_beat = extract(centres).mean(axis=0)
+        flat_idx = int(np.argmax(np.abs(mean_beat[:, pre])))
+        if mean_beat[flat_idx, pre] < 0:
+            mean_beat = -mean_beat
+        return mean_beat, sorted(centres)
+
+    # ------------------------------------------------------------------
+    # template life cycle and scoring
+    # ------------------------------------------------------------------
+
+    def fit(self, user_id: str, recordings: list[RawRecording]) -> int:
+        """Build the user's template from enrollment recordings.
+
+        Returns the number of recordings that carried a usable
+        heartbeat; raises :class:`~repro.errors.EnrollmentError` when
+        none did.
+        """
+        features = []
+        for recording in recordings:
+            try:
+                features.append(self.beat_features(recording))
+            except SignalError:
+                continue
+        if not features:
+            raise EnrollmentError(
+                f"no usable heartbeat in any enrollment recording for {user_id!r}"
+            )
+        stacked = np.stack(features)
+        mu = stacked.mean(axis=0)
+        sigma = np.maximum(stacked.std(axis=0), 1e-3)
+        self._templates[user_id] = (mu, sigma)
+        return len(features)
+
+    def has_user(self, user_id: str) -> bool:
+        return user_id in self._templates
+
+    def drop_user(self, user_id: str) -> None:
+        self._templates.pop(user_id, None)
+
+    def template(self, user_id: str) -> np.ndarray:
+        if user_id not in self._templates:
+            raise VerificationError(f"no heartbeat template for {user_id!r}")
+        return self._templates[user_id][0]
+
+    def _distance(self, features: np.ndarray, user_id: str) -> float:
+        mu, sigma = self._templates[user_id]
+        if self.scoring == "cosine":
+            from repro.core.similarity import cosine_distance
+
+            return float(cosine_distance(features, mu))
+        z = float(np.mean(np.abs(features - mu) / sigma))
+        # Squash the unbounded z-distance into the pipeline's (0, 2)
+        # convention, monotonically.
+        return 2.0 * z / (z + 4.0)
+
+    def score(self, user_id: str, recording: RawRecording) -> float:
+        """Distance of a recording to the user's template.
+
+        Raises :class:`~repro.errors.SignalError` when the recording
+        has no usable heartbeat (callers that prefer a refusal result
+        use :meth:`verify`).
+        """
+        if user_id not in self._templates:
+            raise VerificationError(f"no heartbeat template for {user_id!r}")
+        return self._distance(self.beat_features(recording), user_id)
+
+    def score_features(self, user_id: str, features: np.ndarray) -> float:
+        """Distance of precomputed :meth:`beat_features` to a template.
+
+        Lets batch evaluations (the scenario matrix scores every probe
+        against every template) extract beat features once per probe.
+        """
+        if user_id not in self._templates:
+            raise VerificationError(f"no heartbeat template for {user_id!r}")
+        return self._distance(np.asarray(features, dtype=np.float64), user_id)
+
+    def verify(self, user_id: str, recording: RawRecording) -> VerificationResult:
+        """Decide one recording against the user's heartbeat template."""
+        if user_id not in self._templates:
+            raise VerificationError(f"no heartbeat template for {user_id!r}")
+        try:
+            distance = self._distance(self.beat_features(recording), user_id)
+        except SignalError:
+            return VerificationResult(
+                accepted=False,
+                distance=REJECTED_DISTANCE,
+                threshold=self.threshold,
+                user_id=user_id,
+                exit_stage="refused",
+            )
+        return VerificationResult(
+            accepted=distance <= self.threshold,
+            distance=distance,
+            threshold=self.threshold,
+            user_id=user_id,
+        )

@@ -86,6 +86,7 @@ class VoiceSource:
         rate_hz: float,
         rng: np.random.Generator,
         onset_s: float = 0.0,
+        voiced_s: float | None = None,
     ) -> np.ndarray:
         """Generate the pulse waveform, silent before ``onset_s``.
 
@@ -93,7 +94,9 @@ class VoiceSource:
         values lie in ``[0, ~1]`` before the person's force amplitudes
         are applied by the oscillator.
         """
-        waveform, _ = self.synthesize_with_phase(duration_s, rate_hz, rng, onset_s)
+        waveform, _ = self.synthesize_with_phase(
+            duration_s, rate_hz, rng, onset_s, voiced_s
+        )
         return waveform
 
     def synthesize_with_phase(
@@ -102,6 +105,7 @@ class VoiceSource:
         rate_hz: float,
         rng: np.random.Generator,
         onset_s: float = 0.0,
+        voiced_s: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Generate the pulse waveform and its vocal-cycle phase.
 
@@ -109,15 +113,27 @@ class VoiceSource:
         each cycle into positive- and negative-direction forcing by the
         person's duty cycle.
 
+        ``voiced_s`` bounds how long voicing lasts after the onset;
+        ``None`` (the historical behaviour, bit-for-bit) sustains it to
+        the end of the trial.  A shorter utterance leaves a silent tail
+        where only the cardiac channel remains (DESIGN.md §4l).
+
         Returns:
             ``(waveform, cycle_phase)``, both of length
             ``round(duration_s * rate_hz)``.
         """
         if duration_s <= 0 or rate_hz <= 0:
             raise ConfigError("duration and rate must be positive")
+        if voiced_s is not None and voiced_s <= 0:
+            raise ConfigError("voiced_s must be positive when given")
         num = int(round(duration_s * rate_hz))
         dt = 1.0 / rate_hz
         f0 = self.effective_f0()
+        voiced_end_s = (
+            duration_s
+            if voiced_s is None
+            else min(onset_s + voiced_s, duration_s)
+        )
 
         # Integrate instantaneous frequency with per-cycle jitter: draw a
         # smooth jitter track by low-pass-filtering white noise at ~F0.
@@ -132,6 +148,11 @@ class VoiceSource:
         # larynx does.)
         onset_idx = min(int(round(onset_s / dt)), num)
         inst_freq[:onset_idx] = 0.0
+        if voiced_end_s < duration_s:
+            # The larynx stops cycling when the utterance ends; the
+            # phase freezes and the envelope below silences the rest.
+            end_idx = min(int(round(voiced_end_s / dt)), num)
+            inst_freq[end_idx:] = 0.0
         phase = np.cumsum(inst_freq) * dt
         cycle_phase = np.mod(phase, 1.0)
 
@@ -174,19 +195,19 @@ class VoiceSource:
         cycle_amp = 1.0 + rng.normal(0.0, self.shimmer, size=max(num_cycles, 1))
         pulses = pulses * cycle_amp[np.clip(cycle_index, 0, num_cycles - 1)]
 
-        envelope = self._envelope(num, dt, onset_s, duration_s)
+        envelope = self._envelope(num, dt, onset_s, voiced_end_s)
         return pulses * envelope, cycle_phase
 
     def _envelope(
-        self, num: int, dt: float, onset_s: float, duration_s: float
+        self, num: int, dt: float, onset_s: float, voiced_end_s: float
     ) -> np.ndarray:
-        """Attack-sustain-release envelope starting at ``onset_s``."""
+        """Attack-sustain-release envelope over ``[onset_s, voiced_end_s]``."""
         t = np.arange(num) * dt
         env = np.zeros(num)
         voiced = t >= onset_s
         rel_t = t[voiced] - onset_s
         attack = np.clip(rel_t / max(self.attack_s, dt), 0.0, 1.0)
-        tail = duration_s - onset_s - rel_t
+        tail = voiced_end_s - onset_s - rel_t
         release = np.clip(tail / max(self.release_s, dt), 0.0, 1.0)
         env[voiced] = np.minimum(attack, release)
         return env

@@ -58,11 +58,18 @@ class EarSide(enum.Enum):
 
 
 class Activity(enum.Enum):
-    """User activity while recording (Fig. 12)."""
+    """User activity while recording (Fig. 12, plus the scenario matrix).
+
+    ``DRIVE`` extends the paper's walk/run set for the adversarial
+    scenario matrix (DESIGN.md §4l): unlike gait, engine vibration sits
+    *inside* the 20 Hz pass band, so it survives the high-pass that
+    removes body motion.
+    """
 
     STATIC = "static"
     WALK = "walk"
     RUN = "run"
+    DRIVE = "drive"
 
 
 class Mouthful(enum.Enum):
